@@ -1,0 +1,177 @@
+package pier_test
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5). Each benchmark runs its experiment once per iteration
+// and prints the same rows/series the paper reports; absolute numbers
+// come from the simulator (or loopback TCP for Figure 8), so the point
+// of comparison is the shape — who wins, by what factor, where the
+// crossovers fall. See EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Defaults are scaled down to finish in minutes. Set PIER_FULL=1 for
+// paper-scale runs (n=1024 .. 10,000).
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pier"
+	"pier/internal/experiments"
+	"pier/internal/topology"
+)
+
+func fullScale() bool { return os.Getenv("PIER_FULL") != "" }
+
+// BenchmarkS53CentralizedVsDistributed regenerates the §5.3 analysis:
+// inbound bandwidth needed at the computation nodes as their number
+// varies.
+func BenchmarkS53CentralizedVsDistributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.CentralizedVsDistributed(experiments.DefaultCentralized(fullScale()))
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkFig3Scalability regenerates Figure 3: time to the 30th result
+// tuple as network size and load scale together, for 1/2/8/16/N
+// computation nodes on the fully connected topology.
+func BenchmarkFig3Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Scalability(experiments.DefaultScalability(fullScale()))
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkTable4JoinLatency regenerates Table 4: average time to the
+// last result tuple for the four join strategies with infinite
+// bandwidth, next to the paper's closed-form model.
+func BenchmarkTable4JoinLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table4(experiments.DefaultTable4(fullScale()))
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkFig4Fig5Selectivity regenerates Figures 4 and 5 from one
+// sweep: per-strategy aggregate traffic and time-to-last-tuple as the
+// selectivity of the predicate on S varies.
+func BenchmarkFig4Fig5Selectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig4, fig5 := experiments.Selectivity(experiments.DefaultSelectivity(fullScale()))
+		fig4.Print(os.Stdout)
+		fig5.Print(os.Stdout)
+	}
+}
+
+// BenchmarkFig6Recall regenerates Figure 6: average recall under node
+// failures for several soft-state refresh periods.
+func BenchmarkFig6Recall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Recall(experiments.DefaultRecall(fullScale()))
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkFig7TransitStub regenerates Figure 7: the Figure-3 sweep on
+// the GT-ITM-style transit-stub topology.
+func BenchmarkFig7TransitStub(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultScalability(fullScale())
+		cfg.TransitStub = true
+		cfg.ComputeSeries = []int{1, 0} // the paper plots 1 and N
+		if fullScale() {
+			// §5.7: the transit-stub simulator tops out at 4096 nodes.
+			sizes := cfg.Sizes[:0]
+			for _, n := range cfg.Sizes {
+				if n <= 4096 {
+					sizes = append(sizes, n)
+				}
+			}
+			cfg.Sizes = sizes
+		}
+		t := experiments.Scalability(cfg)
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkFig8Cluster regenerates Figure 8: the same code base deployed
+// over real TCP (loopback standing in for the paper's 1 Gbps cluster),
+// 2..64 nodes, time to the 30th result tuple.
+func BenchmarkFig8Cluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Cluster(experiments.DefaultCluster(fullScale()))
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkAblationCANDims sweeps CAN dimensionality against the
+// (d/4)·n^(1/d) hop model (§3.1.1, §5.4).
+func BenchmarkAblationCANDims(b *testing.B) {
+	nodes := 256
+	if fullScale() {
+		nodes = 1024
+	}
+	for i := 0; i < b.N; i++ {
+		t := experiments.CANDims(nodes, []int{2, 3, 4, 6}, 300, 9)
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkAblationChordVsCAN runs the workload join over both DHTs —
+// the §3.2 validation port.
+func BenchmarkAblationChordVsCAN(b *testing.B) {
+	nodes, s := 128, 256
+	if fullScale() {
+		nodes, s = 1024, 1024
+	}
+	for i := 0; i < b.N; i++ {
+		t := experiments.ChordVsCAN(nodes, s, 17)
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkAblationHierarchicalAgg compares flat and two-level
+// aggregation trees (§7 "Hierarchical aggregation and DHTs"): the
+// hierarchy cuts the root collector's inbound load.
+func BenchmarkAblationHierarchicalAgg(b *testing.B) {
+	nodes, rows := 128, 1280
+	if fullScale() {
+		nodes, rows = 1024, 10240
+	}
+	for i := 0; i < b.N; i++ {
+		t := experiments.HierarchicalAgg(nodes, rows, []int{0, 4, 16}, 29)
+		t.Print(os.Stdout)
+	}
+}
+
+// BenchmarkAnalysisJoinModel reprints §5.5.1's analytic decomposition at
+// several network sizes (multicast + lookups + direct hops per
+// strategy), for comparison with Table 4's measurements.
+func BenchmarkAnalysisJoinModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.StrategyTraffic(64, 200, 23)
+		t.Print(os.Stdout)
+	}
+}
+
+// Example of a quick sanity run, kept as a benchmark so `-bench=.`
+// exercises the whole stack end to end at a small size.
+func BenchmarkEndToEndSymmetricHash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunJoin(experiments.JoinConfig{
+			Nodes:    64,
+			Topo:     topology.NewFullMesh(),
+			Seed:     int64(i) + 1,
+			Strategy: pier.SymmetricHash,
+			STuples:  128,
+			Limit:    time.Hour,
+		})
+		if res.Received != res.Expected {
+			b.Fatalf("recall %d/%d", res.Received, res.Expected)
+		}
+		b.ReportMetric(res.TimeToLast.Seconds(), "virtsec/query")
+		b.ReportMetric(res.TrafficMB, "MB/query")
+	}
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,96 @@
+package pier
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/topology"
+)
+
+func TestCatalogRegisterAndLookup(t *testing.T) {
+	sn := NewSimNetwork(12, topology.NewFullMesh(), 91, DefaultOptions())
+	sn.Nodes[3].RegisterTable(SQLTable{Name: "emp", Cols: []string{"id", "dept"}, Key: "id"}, time.Hour)
+	sn.RunFor(30 * time.Second)
+
+	var got *SQLTable
+	called := false
+	sn.Nodes[9].LookupTable("emp", func(tb *SQLTable) { got, called = tb, true })
+	sn.RunFor(30 * time.Second)
+	if !called || got == nil {
+		t.Fatal("schema not resolvable from another node")
+	}
+	if got.Key != "id" || len(got.Cols) != 2 || got.Cols[1] != "dept" {
+		t.Fatalf("schema corrupted in the DHT: %+v", got)
+	}
+
+	sn.Nodes[5].LookupTable("nosuch", func(tb *SQLTable) {
+		if tb != nil {
+			t.Errorf("unknown table resolved to %+v", tb)
+		}
+		called = true
+	})
+	sn.RunFor(time.Minute)
+}
+
+func TestQuerySQLUsesDHTCatalog(t *testing.T) {
+	sn := NewSimNetwork(16, topology.NewFullMesh(), 92, DefaultOptions())
+	sn.Nodes[0].RegisterTable(SQLTable{Name: "hosts", Cols: []string{"addr", "load"}, Key: "addr"}, time.Hour)
+	for i := 0; i < 30; i++ {
+		sn.Load("hosts", fmt.Sprintf("10.0.0.%d", i), int64(i),
+			&Tuple{Rel: "hosts", Vals: []Value{fmt.Sprintf("10.0.0.%d", i), int64(i % 10)}}, 0)
+	}
+	sn.RunFor(30 * time.Second)
+
+	rows := 0
+	ran := false
+	sn.Nodes[7].QuerySQL("SELECT addr FROM hosts WHERE load > 7", []string{"hosts"},
+		func(tu *core.Tuple, _ int) { rows++ },
+		func(id uint64, err error) {
+			ran = true
+			if err != nil {
+				t.Errorf("QuerySQL: %v", err)
+			}
+		})
+	sn.RunFor(2 * time.Minute)
+	if !ran {
+		t.Fatal("QuerySQL never completed planning")
+	}
+	if rows != 6 { // loads 8,9 of each decade: 3 decades × 2
+		t.Fatalf("rows = %d, want 6", rows)
+	}
+}
+
+func TestQuerySQLUnknownTableFails(t *testing.T) {
+	sn := NewSimNetwork(8, topology.NewFullMesh(), 93, DefaultOptions())
+	var gotErr error
+	sn.Nodes[0].QuerySQL("SELECT x FROM ghost", []string{"ghost"},
+		func(*core.Tuple, int) {}, func(id uint64, err error) { gotErr = err })
+	sn.RunFor(2 * time.Minute)
+	if gotErr == nil {
+		t.Fatal("missing schema must surface an error")
+	}
+}
+
+func TestCatalogSchemaExpiresWithoutRenewal(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ProviderConfig.ActiveExpiry = true
+	sn := NewSimNetwork(8, topology.NewFullMesh(), 94, opts)
+	sn.Nodes[0].RegisterTable(SQLTable{Name: "tmp", Cols: []string{"a"}, Key: "a"}, 30*time.Second)
+	sn.RunFor(10 * time.Second)
+
+	found := false
+	sn.Nodes[1].LookupTable("tmp", func(tb *SQLTable) { found = tb != nil })
+	sn.RunFor(10 * time.Second)
+	if !found {
+		t.Fatal("schema should be live before its lifetime ends")
+	}
+	// Past the lifetime with no renew: soft state ages out (§3.2.3).
+	sn.RunFor(time.Minute)
+	sn.Nodes[1].LookupTable("tmp", func(tb *SQLTable) { found = tb != nil })
+	sn.RunFor(time.Minute)
+	if found {
+		t.Fatal("unrenewed schema survived its lifetime")
+	}
+}

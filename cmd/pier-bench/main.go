@@ -1,0 +1,84 @@
+// pier-bench regenerates every table and figure of the paper's
+// evaluation (§5) and prints them as text tables. By default it runs
+// the scaled-down configurations (minutes); -full restores paper scale
+// (n = 1024 .. 10,000 — hours).
+//
+// Usage:
+//
+//	pier-bench [-full] [-only fig3,table4,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pier/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale runs (slow)")
+	only := flag.String("only", "", "comma-separated subset: s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[k] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	run := func(key, label string, f func()) {
+		if !sel(key) {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("\n### %s (%s)\n", label, key)
+		f()
+		fmt.Printf("    [%s took %v]\n", key, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("s53", "Section 5.3 — centralized vs distributed", func() {
+		experiments.CentralizedVsDistributed(experiments.DefaultCentralized(*full)).Print(os.Stdout)
+	})
+	run("fig3", "Figure 3 — scalability, fully connected topology", func() {
+		experiments.Scalability(experiments.DefaultScalability(*full)).Print(os.Stdout)
+	})
+	run("table4", "Table 4 — join strategies, infinite bandwidth", func() {
+		experiments.Table4(experiments.DefaultTable4(*full)).Print(os.Stdout)
+	})
+	run("fig45", "Figures 4 & 5 — traffic and latency vs selectivity", func() {
+		fig4, fig5 := experiments.Selectivity(experiments.DefaultSelectivity(*full))
+		fig4.Print(os.Stdout)
+		fig5.Print(os.Stdout)
+	})
+	run("fig6", "Figure 6 — recall under churn", func() {
+		experiments.Recall(experiments.DefaultRecall(*full)).Print(os.Stdout)
+	})
+	run("fig7", "Figure 7 — scalability, transit-stub topology", func() {
+		cfg := experiments.DefaultScalability(*full)
+		cfg.TransitStub = true
+		cfg.ComputeSeries = []int{1, 0}
+		experiments.Scalability(cfg).Print(os.Stdout)
+	})
+	run("fig8", "Figure 8 — real deployment over loopback TCP", func() {
+		experiments.Cluster(experiments.DefaultCluster(*full)).Print(os.Stdout)
+	})
+	run("candims", "Ablation — CAN dimensionality", func() {
+		n := 256
+		if *full {
+			n = 1024
+		}
+		experiments.CANDims(n, []int{2, 3, 4, 6}, 300, 9).Print(os.Stdout)
+	})
+	run("chord", "Ablation — CAN vs Chord", func() {
+		n, s := 128, 256
+		if *full {
+			n, s = 1024, 1024
+		}
+		experiments.ChordVsCAN(n, s, 17).Print(os.Stdout)
+	})
+}

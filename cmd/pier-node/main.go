@@ -1,0 +1,144 @@
+// pier-node runs one real PIER node over TCP and offers a small
+// interactive shell: publish tuples, register schemas, and run SQL
+// queries against the live overlay. Start the first node with no
+// -join flag; point further nodes at any running one:
+//
+//	pier-node -listen 127.0.0.1:7001
+//	pier-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//
+// Shell commands:
+//
+//	table <name> <keycol> <col> [col...]   register a schema
+//	publish <table> <val> [val...]         publish a tuple (key = first col)
+//	sql <SELECT ...>                       run a query, print results
+//	info                                   node status
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pier"
+	"pier/internal/core"
+	"pier/internal/env"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	join := flag.String("join", "", "landmark node to join through (empty = new network)")
+	lifetime := flag.Duration("lifetime", 10*time.Minute, "soft-state lifetime of published tuples")
+	wait := flag.Duration("wait", 5*time.Second, "how long queries collect results")
+	flag.Parse()
+
+	node, err := pier.StartNode(*listen, env.Addr(*join), time.Now().UnixNano(), pier.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "start:", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	if *join != "" && !node.WaitReady(15*time.Second) {
+		fmt.Fprintln(os.Stderr, "failed to join the overlay via", *join)
+		os.Exit(1)
+	}
+	fmt.Printf("pier node up at %s", node.Addr())
+	if *join != "" {
+		fmt.Printf(" (joined via %s)", *join)
+	}
+	fmt.Println()
+
+	cat := pier.Catalog{}
+	var iid atomic.Int64
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		switch {
+		case line == "":
+		case line == "quit" || line == "exit":
+			return
+		case line == "info":
+			node.Do(func() {
+				fmt.Printf("addr=%s ready=%v neighbors=%d stored-items=%d\n",
+					node.Addr(), node.Router().Ready(),
+					len(node.Router().Neighbors()), node.Provider().Store().TotalLen())
+			})
+		case fields[0] == "table" && len(fields) >= 4:
+			name, key := fields[1], fields[2]
+			cat[name] = pier.SQLTable{Name: name, Cols: fields[3:], Key: key}
+			fmt.Printf("registered %s(%s) key=%s\n", name, strings.Join(fields[3:], ","), key)
+		case fields[0] == "publish" && len(fields) >= 3:
+			table := fields[1]
+			tb, ok := cat[table]
+			if !ok {
+				fmt.Println("unknown table; register with `table` first")
+				break
+			}
+			if len(fields)-2 != len(tb.Cols) {
+				fmt.Printf("%s takes %d columns\n", table, len(tb.Cols))
+				break
+			}
+			vals := make([]pier.Value, 0, len(tb.Cols))
+			for _, f := range fields[2:] {
+				vals = append(vals, parseVal(f))
+			}
+			rid := core.ValueString(vals[tb.Col(tb.Key)])
+			node.PublishSync(table, rid, iid.Add(1), &pier.Tuple{Rel: table, Vals: vals}, *lifetime)
+			fmt.Printf("published %s/%s\n", table, rid)
+		case fields[0] == "sql":
+			runSQL(node, cat, strings.TrimSpace(strings.TrimPrefix(line, "sql")), *wait)
+		default:
+			fmt.Println("commands: table, publish, sql, info, quit")
+		}
+		fmt.Print("> ")
+	}
+}
+
+func parseVal(s string) pier.Value {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duration) {
+	plan, err := pier.ParseSQL(src, cat)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	results := make(chan *core.Tuple, 1024)
+	id, err := node.QuerySync(plan, func(t *core.Tuple, _ int) {
+		select {
+		case results <- t:
+		default:
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	deadline := time.After(wait)
+	n := 0
+	for {
+		select {
+		case t := <-results:
+			n++
+			fmt.Printf("  %s\n", t)
+		case <-deadline:
+			node.Do(func() { node.Cancel(id) })
+			fmt.Printf("(%d rows)\n", n)
+			return
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// pier-sim runs one simulated PIER query with every knob exposed —
+// the workbench for exploring the design space beyond the paper's
+// configurations.
+//
+// Usage:
+//
+//	pier-sim -nodes 512 -s 1024 -strategy bloom -topology transit \
+//	         -sel-s 0.3 -compute 16 -dht chord
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pier"
+	"pier/internal/core"
+	"pier/internal/experiments"
+	"pier/internal/topology"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 128, "network size")
+	sTuples := flag.Int("s", 256, "|S| (|R| = 10x)")
+	strategy := flag.String("strategy", "symhash", "symhash | fetch | semijoin | bloom")
+	topo := flag.String("topology", "mesh", "mesh | mesh-inf | transit | cluster")
+	selR := flag.Float64("sel-r", 0.5, "selectivity of the predicate on R")
+	selS := flag.Float64("sel-s", 0.5, "selectivity of the predicate on S")
+	compute := flag.Int("compute", 0, "computation nodes (0 = all)")
+	dhtKind := flag.String("dht", "can", "can | chord")
+	pad := flag.Int("pad", 964, "R.pad bytes (result tuples ~1KB)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var s core.Strategy
+	switch *strategy {
+	case "symhash":
+		s = core.SymmetricHash
+	case "fetch":
+		s = core.FetchMatches
+	case "semijoin":
+		s = core.SymmetricSemiJoin
+	case "bloom":
+		s = core.BloomJoin
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	var tp topology.Topology
+	switch *topo {
+	case "mesh":
+		tp = topology.NewFullMesh()
+	case "mesh-inf":
+		tp = topology.NewFullMeshInfinite()
+	case "transit":
+		tp = topology.NewTransitStub(*seed)
+	case "cluster":
+		tp = topology.NewCluster()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	kind := pier.CAN
+	if *dhtKind == "chord" {
+		kind = pier.Chord
+	}
+
+	res := experiments.RunJoin(experiments.JoinConfig{
+		Nodes:        *nodes,
+		Topo:         tp,
+		Seed:         *seed,
+		Strategy:     s,
+		STuples:      *sTuples,
+		PadBytes:     *pad,
+		SelR:         *selR,
+		SelS:         *selS,
+		ComputeNodes: *compute,
+		DHT:          kind,
+	})
+	fmt.Printf("query:            %v over %d nodes (%s, dht=%s)\n", s, *nodes, *topo, *dhtKind)
+	fmt.Printf("results:          %d / %d expected (recall %.3f)\n",
+		res.Received, res.Expected, float64(res.Received)/float64(max(1, res.Expected)))
+	fmt.Printf("time to 30th:     %.3fs\n", res.TimeToKth.Seconds())
+	fmt.Printf("time to last:     %.3fs\n", res.TimeToLast.Seconds())
+	fmt.Printf("total traffic:    %.2f MB (strategy only: %.2f MB)\n", res.TrafficMB, res.StrategyMB)
+	fmt.Printf("max node inbound: %.2f MB\n", res.MaxInMB)
+	if res.AvgHops > 0 {
+		fmt.Printf("avg lookup hops:  %.2f\n", res.AvgHops)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

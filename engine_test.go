@@ -1,0 +1,226 @@
+package pier
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/dht/storage"
+	"pier/internal/topology"
+	"pier/internal/workload"
+)
+
+func TestCancelStopsResultDelivery(t *testing.T) {
+	sn := NewSimNetwork(16, topology.NewFullMesh(), 71, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 40, Seed: 71, PadBytes: 64})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+
+	got := 0
+	id, err := sn.Nodes[0].Query(workload.JoinPlan(SymmetricHash, c1, c2, c3), func(*core.Tuple, int) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel before any result can arrive (first results need >= 300ms
+	// of virtual time: multicast + rehash + delivery).
+	sn.RunFor(50 * time.Millisecond)
+	sn.Nodes[0].Cancel(id)
+	sn.RunFor(10 * time.Minute)
+	if got != 0 {
+		t.Fatalf("received %d results after cancel", got)
+	}
+}
+
+func TestQueryStateAgesOutAfterTTL(t *testing.T) {
+	sn := NewSimNetwork(8, topology.NewFullMesh(), 72, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 20, Seed: 72, PadBytes: 64})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	plan := workload.JoinPlan(SymmetricHash, c1, c2, c3)
+	plan.TTL = 30 * time.Second
+
+	want := len(tables.ReferenceJoin(c1, c2, c3))
+	got, _, err := sn.Collect(0, plan, want, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("got %d/%d", len(got), want)
+	}
+	// After the TTL, the temporary NQ state must have expired
+	// everywhere (lazily with default options), leaving only the base
+	// tables live.
+	sn.RunFor(2 * time.Minute)
+	for i, n := range sn.Nodes {
+		for _, ns := range n.Provider().Store().Namespaces() {
+			if ns == "R" || ns == "S" {
+				continue
+			}
+			live := 0
+			n.Provider().Scan(ns, func(*storage.Item) bool {
+				live++
+				return true
+			})
+			if live != 0 {
+				t.Fatalf("node %d still has %d live items in %q after TTL", i, live, ns)
+			}
+		}
+	}
+}
+
+func TestDuplicateQueryDeliveryIgnored(t *testing.T) {
+	// The engine must not instantiate the same query twice even though
+	// flooding could deliver duplicates under churn.
+	sn := NewSimNetwork(8, topology.NewFullMesh(), 73, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 20, Seed: 73, PadBytes: 64})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(1, 1, 1)
+	want := tables.ReferenceJoin(c1, c2, c3)
+
+	plan := workload.JoinPlan(SymmetricHash, c1, c2, c3)
+	got := 0
+	id, err := sn.Nodes[0].Query(plan, func(*core.Tuple, int) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = id
+	sn.RunFor(20 * time.Minute)
+	if got != len(want) {
+		t.Fatalf("got %d results, want %d (duplicates or losses)", got, len(want))
+	}
+}
+
+func TestNodeFailureMidQueryLosesOnlyItsShare(t *testing.T) {
+	// Kill one node right after dissemination: its base tuples and NQ
+	// share vanish, everything else must still arrive (best-effort
+	// dilated snapshot, §3.3.1).
+	sn := NewSimNetwork(24, topology.NewFullMesh(), 74, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 80, Seed: 74, PadBytes: 64})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := len(tables.ReferenceJoin(c1, c2, c3))
+
+	plan := workload.JoinPlan(SymmetricHash, c1, c2, c3)
+	got := 0
+	if _, err := sn.Nodes[0].Query(plan, func(*core.Tuple, int) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	sn.RunFor(400 * time.Millisecond) // query disseminated, rehash in flight
+
+	// CAN zone volumes are skewed, so "one node's share" can be much
+	// more than 1/n; bound the loss by the victim's actual share of the
+	// stored data plus a margin for its NQ bucket and in-flight drops.
+	victim := 7
+	victimItems := sn.Nodes[victim].Provider().Store().TotalLen()
+	total := 0
+	for _, n := range sn.Nodes {
+		total += n.Provider().Store().TotalLen()
+	}
+	share := float64(victimItems) / float64(total)
+
+	sn.Kill(victim)
+	sn.RunFor(30 * time.Minute)
+	if got == 0 {
+		t.Fatal("query produced nothing after a single failure")
+	}
+	if got > want {
+		t.Fatalf("more results (%d) than reference (%d)", got, want)
+	}
+	recall := float64(got) / float64(want)
+	if floor := 1 - 3*share - 0.10; recall < floor {
+		t.Fatalf("recall %.2f after one failure (victim share %.2f); floor %.2f", recall, share, floor)
+	}
+}
+
+func TestComputeNodesBucketingStaysCorrect(t *testing.T) {
+	// Constraining the join namespace must not change the answer, for
+	// any strategy that rehashes.
+	sn := NewSimNetwork(16, topology.NewFullMeshInfinite(), 75, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 40, Seed: 75, PadBytes: 64})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := tables.ReferenceJoin(c1, c2, c3)
+	for _, k := range []int{1, 2, 5} {
+		for _, strat := range []Strategy{SymmetricHash, SymmetricSemiJoin} {
+			plan := workload.JoinPlan(strat, c1, c2, c3)
+			plan.ComputeNodes = k
+			got, _, err := sn.Collect(0, plan, len(want), 20*time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSet := pairSet(got)
+			if len(got) != len(want) || len(gotSet) != len(want) {
+				t.Fatalf("%v with %d computation nodes: %d results (%d distinct), want %d",
+					strat, k, len(got), len(gotSet), len(want))
+			}
+		}
+	}
+}
+
+func TestEmptyTablesYieldNoResultsQuickly(t *testing.T) {
+	sn := NewSimNetwork(8, topology.NewFullMesh(), 76, DefaultOptions())
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	for _, strat := range []Strategy{SymmetricHash, FetchMatches, SymmetricSemiJoin, BloomJoin} {
+		plan := workload.JoinPlan(strat, c1, c2, c3)
+		plan.BloomWait = time.Second
+		got, _, err := sn.Collect(0, plan, 0, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("%v produced %d rows from empty tables", strat, len(got))
+		}
+	}
+}
+
+func TestManyConcurrentQueries(t *testing.T) {
+	sn := NewSimNetwork(16, topology.NewFullMesh(), 77, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 30, Seed: 77, PadBytes: 64})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := len(tables.ReferenceJoin(c1, c2, c3))
+
+	counts := make([]int, 6)
+	for q := 0; q < 6; q++ {
+		q := q
+		origin := q % len(sn.Nodes)
+		if _, err := sn.Nodes[origin].Query(workload.JoinPlan(SymmetricHash, c1, c2, c3),
+			func(*core.Tuple, int) { counts[q]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn.RunFor(30 * time.Minute)
+	for q, c := range counts {
+		if c != want {
+			t.Fatalf("concurrent query %d got %d/%d", q, c, want)
+		}
+	}
+}
+
+func TestPublishThroughDHTThenQuery(t *testing.T) {
+	// End-to-end without the bulk-load shortcut: publish via normal
+	// puts from scattered nodes, then query.
+	sn := NewSimNetwork(12, topology.NewFullMesh(), 78, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 15, Seed: 78, PadBytes: 64})
+	for i, r := range tables.R {
+		node := sn.Nodes[i%len(sn.Nodes)]
+		node.Publish("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, time.Hour)
+	}
+	for i, s := range tables.S {
+		node := sn.Nodes[i%len(sn.Nodes)]
+		node.Publish("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, time.Hour)
+	}
+	sn.RunFor(30 * time.Second) // puts land
+	c1, c2, c3 := workload.Constants(1, 1, 1)
+	want := tables.ReferenceJoin(c1, c2, c3)
+	got, _, err := sn.Collect(3, workload.JoinPlan(FetchMatches, c1, c2, c3), len(want), 20*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d/%d", len(got), len(want))
+	}
+}
+
+var _ = fmt.Sprint

@@ -1,0 +1,64 @@
+package pier_test
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pier"
+	"pier/internal/topology"
+)
+
+// Example runs a distributed join on a simulated 16-node PIER
+// deployment: publish two relations into the DHT, plan a SQL query, and
+// stream the results — the whole public API in one screen.
+func Example() {
+	sn := pier.NewSimNetwork(16, topology.NewFullMesh(), 1, pier.DefaultOptions())
+
+	// Publish base tuples under their primary keys.
+	type file struct {
+		name string
+		host string
+		size int64
+	}
+	for i, f := range []file{
+		{"kernel.iso", "alpha", 700},
+		{"kernel.iso", "beta", 700},
+		{"notes.txt", "gamma", 1},
+	} {
+		t := &pier.Tuple{Rel: "files", Vals: []pier.Value{f.name, f.host, f.size}}
+		sn.Load("files", fmt.Sprintf("%s@%s", f.name, f.host), int64(i), t, 0)
+	}
+	for i, h := range [][2]string{{"alpha", "us"}, {"beta", "eu"}, {"gamma", "us"}} {
+		t := &pier.Tuple{Rel: "hosts", Vals: []pier.Value{h[0], h[1]}}
+		sn.Load("hosts", h[0], int64(i), t, 0)
+	}
+
+	cat := pier.Catalog{
+		"files": {Name: "files", Cols: []string{"name", "host", "size"}, Key: "name"},
+		"hosts": {Name: "hosts", Cols: []string{"host", "region"}, Key: "host"},
+	}
+	plan, err := pier.ParseSQL(`
+		SELECT f.name, h.region
+		FROM files AS f, hosts AS h
+		WHERE f.host = h.host AND f.size > 100`, cat)
+	if err != nil {
+		panic(err)
+	}
+
+	rows, _, err := sn.Collect(0, plan, 2, time.Minute)
+	if err != nil {
+		panic(err)
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%v in %v", r.Vals[0], r.Vals[1]))
+	}
+	sort.Strings(out)
+	for _, s := range out {
+		fmt.Println(s)
+	}
+	// Output:
+	// kernel.iso in eu
+	// kernel.iso in us
+}

@@ -1,0 +1,136 @@
+package pier
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/topology"
+)
+
+// loadCounterData spreads count/sum fodder over the network: every node
+// contributes rows to a handful of groups.
+func loadCounterData(sn *SimNetwork, rows int) map[string][2]int64 {
+	want := map[string][2]int64{} // group -> {count, sum}
+	groups := []string{"gA", "gB", "gC"}
+	for i := 0; i < rows; i++ {
+		g := groups[i%len(groups)]
+		v := int64(i % 17)
+		w := want[g]
+		want[g] = [2]int64{w[0] + 1, w[1] + v}
+		sn.Load("m", fmt.Sprintf("%s/%d", g, i), int64(i),
+			&Tuple{Rel: "m", Vals: []Value{g, v}}, 0)
+	}
+	return want
+}
+
+func aggPlan(fanout int) *Plan {
+	return &Plan{
+		Tables:    []TableRef{{NS: "m"}},
+		GroupBy:   []int{0},
+		Aggs:      []Aggregate{{Kind: Count, Col: -1}, {Kind: Sum, Col: 1}},
+		AggWait:   10 * time.Second,
+		AggFanout: fanout,
+	}
+}
+
+func runAgg(t *testing.T, sn *SimNetwork, fanout int) map[string][2]int64 {
+	t.Helper()
+	got := map[string][2]int64{}
+	id, err := sn.Nodes[0].Query(aggPlan(fanout), func(tu *core.Tuple, _ int) {
+		got[tu.Vals[0].(string)] = [2]int64{tu.Vals[1].(int64), tu.Vals[2].(int64)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Nodes[0].Cancel(id)
+	sn.RunFor(time.Minute)
+	return got
+}
+
+func TestHierarchicalAggregationMatchesFlat(t *testing.T) {
+	// §7 extension: the two-level hierarchy must compute identical
+	// aggregates.
+	for _, fanout := range []int{0, 2, 8} {
+		sn := NewSimNetwork(48, topology.NewFullMesh(), 81, DefaultOptions())
+		want := loadCounterData(sn, 480)
+		got := runAgg(t, sn, fanout)
+		if len(got) != len(want) {
+			t.Fatalf("fanout %d: %d groups, want %d", fanout, len(got), len(want))
+		}
+		for g, w := range want {
+			if got[g] != w {
+				t.Fatalf("fanout %d: group %s = %v, want %v", fanout, g, got[g], w)
+			}
+		}
+	}
+}
+
+func TestHierarchicalAggregationReducesRootLoad(t *testing.T) {
+	// The point of the hierarchy (§7): the group root receives
+	// O(fanout) combined partials instead of O(n) per-node partials, so
+	// the hottest node's inbound traffic drops.
+	measure := func(fanout int) float64 {
+		sn := NewSimNetwork(96, topology.NewFullMesh(), 82, DefaultOptions())
+		// One global group maximizes root concentration.
+		for i := 0; i < 960; i++ {
+			sn.Load("m", fmt.Sprint(i), int64(i), &Tuple{Rel: "m", Vals: []Value{"g", int64(1)}}, 0)
+		}
+		sn.Net.ResetStats()
+		plan := aggPlan(fanout)
+		total := int64(0)
+		id, err := sn.Nodes[0].Query(plan, func(tu *core.Tuple, _ int) {
+			total = tu.Vals[1].(int64)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sn.Nodes[0].Cancel(id)
+		sn.RunFor(time.Minute)
+		if total != 960 {
+			t.Fatalf("fanout %d: count = %d, want 960", fanout, total)
+		}
+		stats := sn.Net.Stats()
+		return float64(stats.MaxInbound())
+	}
+	flat := measure(0)
+	hier := measure(8)
+	if hier >= flat {
+		t.Fatalf("hierarchy did not reduce the hottest inbound load: flat=%.0fB hier=%.0fB", flat, hier)
+	}
+}
+
+func TestHierarchicalContinuousWindows(t *testing.T) {
+	sn := NewSimNetwork(24, topology.NewFullMesh(), 83, DefaultOptions())
+	plan := &Plan{
+		Tables:     []TableRef{{NS: "st"}},
+		GroupBy:    []int{0},
+		Aggs:       []Aggregate{{Kind: Count, Col: -1}},
+		Continuous: true,
+		Every:      10 * time.Second,
+		Windows:    1,
+		AggWait:    6 * time.Second,
+		AggFanout:  4,
+		TTL:        time.Minute,
+	}
+	got := int64(0)
+	if _, err := sn.Nodes[0].Query(plan, func(tu *core.Tuple, w int) {
+		if w == 0 {
+			got += tu.Vals[1].(int64)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		i := i
+		node := sn.Nodes[i%24]
+		sn.Net.Node(i%24).After(time.Duration(i)*100*time.Millisecond, func() {
+			node.Publish("st", fmt.Sprint(i), int64(i), &Tuple{Rel: "st", Vals: []Value{"g"}}, time.Minute)
+		})
+	}
+	sn.RunFor(40 * time.Second)
+	if got != 40 {
+		t.Fatalf("hierarchical windowed count = %d, want 40", got)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggStateBasics(t *testing.T) {
+	var s AggState
+	for _, v := range []int64{5, 1, 9} {
+		s.Update(v)
+	}
+	if s.Final(Count) != int64(3) {
+		t.Fatalf("count = %v", s.Final(Count))
+	}
+	if s.Final(Sum) != int64(15) {
+		t.Fatalf("sum = %v", s.Final(Sum))
+	}
+	if s.Final(Min) != int64(1) || s.Final(Max) != int64(9) {
+		t.Fatalf("min/max = %v/%v", s.Final(Min), s.Final(Max))
+	}
+	if s.Final(Avg) != float64(5) {
+		t.Fatalf("avg = %v", s.Final(Avg))
+	}
+}
+
+func TestAggStateFloatsPromoteSum(t *testing.T) {
+	var s AggState
+	s.Update(int64(1))
+	s.Update(float64(2.5))
+	if got := s.Final(Sum); got != float64(3.5) {
+		t.Fatalf("mixed sum = %v", got)
+	}
+}
+
+func TestAggStateEmpty(t *testing.T) {
+	var s AggState
+	if s.Final(Count) != int64(0) {
+		t.Fatal("empty count != 0")
+	}
+	if s.Final(Min) != nil || s.Final(Max) != nil || s.Final(Avg) != nil {
+		t.Fatal("empty min/max/avg must be nil")
+	}
+}
+
+func TestCountStarIgnoresNil(t *testing.T) {
+	var s AggState
+	s.Update(nil)
+	s.Update(nil)
+	if s.Final(Count) != int64(2) {
+		t.Fatalf("count(*) = %v, want 2", s.Final(Count))
+	}
+	if s.Final(Min) != nil {
+		t.Fatal("min over nils must stay nil")
+	}
+}
+
+// TestMergeEqualsSequentialProperty: merging partials from any split of
+// the input equals aggregating the whole input — the invariant that
+// makes PIER's distributed partial aggregation correct.
+func TestMergeEqualsSequentialProperty(t *testing.T) {
+	check := func(seed int64, split uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1000) - 500)
+		}
+		cut := int(split) % n
+
+		var whole AggState
+		for _, v := range vals {
+			whole.Update(v)
+		}
+		var a, b AggState
+		for _, v := range vals[:cut] {
+			a.Update(v)
+		}
+		for _, v := range vals[cut:] {
+			b.Update(v)
+		}
+		a.Merge(&b)
+
+		for _, k := range []AggKind{Count, Sum, Min, Max, Avg} {
+			if !ValuesEqual(a.Final(k), whole.Final(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeCommutativeProperty(t *testing.T) {
+	check := func(xs, ys []int16) bool {
+		var a1, b1, a2, b2 AggState
+		for _, x := range xs {
+			a1.Update(int64(x))
+			a2.Update(int64(x))
+		}
+		for _, y := range ys {
+			b1.Update(int64(y))
+			b2.Update(int64(y))
+		}
+		a1.Merge(&b1) // a then b
+		b2.Merge(&a2) // b then a
+		for _, k := range []AggKind{Count, Sum, Min, Max} {
+			if !ValuesEqual(a1.Final(k), b2.Final(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (&Plan{}).Validate(); err == nil {
+		t.Error("empty plan must fail")
+	}
+	p := &Plan{Tables: []TableRef{{NS: "a"}, {NS: "b"}}}
+	if err := p.Validate(); err == nil {
+		t.Error("join without JoinCols must fail")
+	}
+	p = &Plan{Tables: []TableRef{{NS: "a", JoinCols: []int{0}, RIDCol: -1}, {NS: "b", JoinCols: []int{0}, RIDCol: 0}},
+		Strategy: SymmetricSemiJoin}
+	if err := p.Validate(); err == nil {
+		t.Error("semi-join without RIDCol must fail")
+	}
+	p = &Plan{Tables: []TableRef{{NS: "a"}}, Having: &Const{V: true}}
+	if err := p.Validate(); err == nil {
+		t.Error("having without aggregates must fail")
+	}
+	p = &Plan{Tables: []TableRef{{NS: "a"}}, Continuous: true}
+	if err := p.Validate(); err == nil {
+		t.Error("continuous without Every must fail")
+	}
+	p = &Plan{Tables: []TableRef{{NS: "a"}}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid single-table plan rejected: %v", err)
+	}
+	if p.TTL <= 0 || p.BloomBits <= 0 {
+		t.Error("Validate must fill defaults")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	names := map[Strategy]string{
+		SymmetricHash:     "symmetric hash",
+		FetchMatches:      "fetch matches",
+		SymmetricSemiJoin: "symmetric semi-join",
+		BloomJoin:         "bloom filter",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

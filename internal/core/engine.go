@@ -1,0 +1,118 @@
+package core
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"time"
+
+	"pier/internal/dht/provider"
+	"pier/internal/env"
+)
+
+// QueryNS is the namespace query-dissemination multicasts are tagged
+// with.
+const QueryNS = "pier.query"
+
+// Config controls one engine instance.
+type Config struct {
+	// AggFlushInterval is how often dirty partial aggregates are
+	// re-put while a join or stream keeps feeding them.
+	AggFlushInterval time.Duration
+}
+
+// DefaultConfig returns the engine defaults.
+func DefaultConfig() Config {
+	return Config{AggFlushInterval: time.Second}
+}
+
+// ResultFunc receives one output tuple at the query initiator. window is
+// 0 for one-shot queries and the window index for continuous ones.
+type ResultFunc func(t *Tuple, window int)
+
+// Engine is the per-node PIER query processor. One instance runs on
+// every participating node; any node can initiate queries.
+type Engine struct {
+	env  env.Env
+	prov *provider.Provider
+	cfg  Config
+
+	execs      map[uint64]*exec
+	collectors map[uint64]ResultFunc
+	nodeIID    int64
+}
+
+// New creates the engine and hooks it into the provider's multicast
+// delivery. The caller routes non-DHT messages through HandleMessage.
+func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
+	if cfg.AggFlushInterval <= 0 {
+		cfg.AggFlushInterval = time.Second
+	}
+	h := sha1.Sum([]byte(e.Addr()))
+	eng := &Engine{
+		env:        e,
+		prov:       prov,
+		cfg:        cfg,
+		execs:      make(map[uint64]*exec),
+		collectors: make(map[uint64]ResultFunc),
+		nodeIID:    int64(binary.BigEndian.Uint64(h[:8]) >> 1),
+	}
+	prov.OnMulticast(eng.onMulticast)
+	return eng
+}
+
+// Provider returns the provider the engine runs over.
+func (eng *Engine) Provider() *provider.Provider { return eng.prov }
+
+// Run validates the plan, registers the result collector, and multicasts
+// the query instructions to all nodes. It returns the query id.
+func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	id := eng.env.Rand().Uint64()
+	eng.collectors[id] = onResult
+	eng.prov.Multicast(QueryNS, &queryMsg{ID: id, Initiator: eng.env.Addr(), Plan: p})
+	return id, nil
+}
+
+// Cancel stops delivering results for a query to this initiator.
+// Distributed query state simply ages out with its soft-state TTL.
+func (eng *Engine) Cancel(id uint64) { delete(eng.collectors, id) }
+
+// HandleMessage consumes engine messages (results), returning false for
+// anything else.
+func (eng *Engine) HandleMessage(from env.Addr, m env.Message) bool {
+	rm, ok := m.(*resultMsg)
+	if !ok {
+		return false
+	}
+	if fn, ok := eng.collectors[rm.ID]; ok {
+		for _, t := range rm.Tuples {
+			fn(t, rm.Window)
+		}
+	}
+	return true
+}
+
+func (eng *Engine) onMulticast(origin env.Addr, ns string, payload env.Message) {
+	if ns != QueryNS {
+		return
+	}
+	switch m := payload.(type) {
+	case *queryMsg:
+		if _, running := eng.execs[m.ID]; running {
+			return
+		}
+		ex := newExec(eng, m)
+		eng.execs[m.ID] = ex
+		ex.start()
+		eng.env.After(m.Plan.TTL, func() {
+			ex.stop()
+			delete(eng.execs, m.ID)
+		})
+	case *bloomDist:
+		if ex, ok := eng.execs[m.ID]; ok {
+			ex.onBloomDist(m)
+		}
+	}
+}

@@ -1,0 +1,728 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"pier/internal/core/bloom"
+	"pier/internal/dht/storage"
+	"pier/internal/env"
+)
+
+// exec is the per-node instantiation of one query's dataflow. Operators
+// push tuples onward as soon as they are produced (§3.3: "operators
+// produce results as quickly as possible (push)"); the network queues
+// between rehash and probe hide latency.
+type exec struct {
+	eng       *Engine
+	id        uint64
+	initiator env.Addr
+	plan      *Plan
+	nq        string // temporary rehash namespace ("a new unique DHT namespace NQ", §4.1)
+	aggNS     string
+	startAt   time.Time
+
+	unsubs  []func()
+	timers  []env.Timer
+	stopped bool
+
+	bloomRecv [2]bool
+
+	// fetchCache memoizes semi-join base-tuple fetches per (side, rid):
+	// an S tuple matched by several R projections is fetched once per
+	// probing node, not once per pair.
+	fetchCache [2]map[string]*fetchEntry
+
+	partials  map[string]*partialGroup
+	dirty     map[string]bool
+	flushStop func()
+}
+
+type fetchEntry struct {
+	done    bool
+	tuples  []*Tuple
+	waiters []func([]*Tuple)
+}
+
+type partialGroup struct {
+	window int
+	group  []Value
+	states []*AggState
+}
+
+func newExec(eng *Engine, m *queryMsg) *exec {
+	return &exec{
+		eng:       eng,
+		id:        m.ID,
+		initiator: m.Initiator,
+		plan:      m.Plan,
+		nq:        fmt.Sprintf("q%x", m.ID),
+		aggNS:     fmt.Sprintf("q%x.agg", m.ID),
+		startAt:   eng.env.Now(),
+		partials:  make(map[string]*partialGroup),
+		dirty:     make(map[string]bool),
+	}
+}
+
+func (ex *exec) bloomNS(side int) string { return fmt.Sprintf("q%x.bloom%d", ex.id, side) }
+
+func (ex *exec) start() {
+	p := ex.plan
+	if len(p.Aggs) > 0 {
+		ex.scheduleAggEmit()
+	}
+	if len(p.Tables) == 1 {
+		ex.startSingle()
+		return
+	}
+	switch p.Strategy {
+	case SymmetricHash:
+		ex.registerPairProbe()
+		ex.rehashScan(0, nil)
+		ex.rehashScan(1, nil)
+	case FetchMatches:
+		ex.startFetchMatches()
+	case SymmetricSemiJoin:
+		ex.registerMiniProbe()
+		ex.miniScan(0)
+		ex.miniScan(1)
+	case BloomJoin:
+		ex.registerPairProbe()
+		ex.startBloom()
+	}
+}
+
+func (ex *exec) stop() {
+	ex.stopped = true
+	for _, u := range ex.unsubs {
+		u()
+	}
+	for _, t := range ex.timers {
+		t.Stop()
+	}
+	if ex.flushStop != nil {
+		ex.flushStop()
+	}
+}
+
+// timer schedules f, suppressed after stop.
+func (ex *exec) timer(d time.Duration, f func()) {
+	t := ex.eng.env.After(d, func() {
+		if !ex.stopped {
+			f()
+		}
+	})
+	ex.timers = append(ex.timers, t)
+}
+
+func (ex *exec) pass(e Expr, row []Value) bool { return e == nil || Truthy(e.Eval(row)) }
+
+func (ex *exec) window() int {
+	if !ex.plan.Continuous {
+		return 0
+	}
+	return int(ex.eng.env.Now().Sub(ex.startAt) / ex.plan.Every)
+}
+
+// joined handles one concatenated row produced by any join strategy.
+func (ex *exec) joined(row *Tuple) {
+	if !ex.pass(ex.plan.PostFilter, row.Vals) {
+		return
+	}
+	if len(ex.plan.Aggs) > 0 {
+		ex.aggFeed(row, ex.window())
+		return
+	}
+	ex.emitRow(row, ex.window())
+}
+
+// emitRow applies the output expressions and ships the tuple to the
+// query initiator.
+func (ex *exec) emitRow(row *Tuple, window int) {
+	out := row
+	if len(ex.plan.Output) > 0 {
+		vals := make([]Value, len(ex.plan.Output))
+		for i, e := range ex.plan.Output {
+			vals[i] = e.Eval(row.Vals)
+		}
+		out = &Tuple{Rel: "result", Vals: vals, Pad: row.Pad}
+	}
+	ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: window, Tuples: []*Tuple{out}})
+}
+
+// --- single-table plans -------------------------------------------------
+
+func (ex *exec) startSingle() {
+	tbl := ex.plan.Tables[0]
+	process := func(t *Tuple) {
+		if !ex.pass(tbl.Filter, t.Vals) {
+			return
+		}
+		proj := t.Project(tbl.Project)
+		if len(ex.plan.Aggs) > 0 {
+			ex.aggFeed(proj, ex.window())
+			return
+		}
+		if ex.pass(ex.plan.PostFilter, proj.Vals) {
+			ex.emitRow(proj, ex.window())
+		}
+	}
+	if ex.plan.Continuous {
+		// Continuous query: consume the stream of arrivals (§7).
+		unsub := ex.eng.prov.OnNewData(tbl.NS, func(it *storage.Item) {
+			if t, ok := it.Payload.(*Tuple); ok {
+				process(t)
+			}
+		})
+		ex.unsubs = append(ex.unsubs, unsub)
+		return
+	}
+	// One-shot: local snapshot at query arrival (dilated-reachable
+	// snapshot semantics, §3.3.1).
+	ex.eng.prov.Scan(tbl.NS, func(it *storage.Item) bool {
+		if t, ok := it.Payload.(*Tuple); ok {
+			process(t)
+		}
+		return true
+	})
+	if len(ex.plan.Aggs) > 0 {
+		ex.flushPartials()
+	}
+}
+
+// --- symmetric hash join (§4.1) -----------------------------------------
+
+// rehashScan filters, projects, and rehashes one table into NQ, keyed by
+// the concatenated join attribute values. A non-nil Bloom filter prunes
+// the rehash (§4.2).
+func (ex *exec) rehashScan(side int, f *bloom.Filter) {
+	tbl := ex.plan.Tables[side]
+	ex.eng.prov.Scan(tbl.NS, func(it *storage.Item) bool {
+		t, ok := it.Payload.(*Tuple)
+		if !ok {
+			return true
+		}
+		if !ex.pass(tbl.Filter, t.Vals) {
+			return true
+		}
+		proj := t.Project(tbl.Project)
+		key := JoinKeyString(proj, tbl.JoinCols)
+		if f != nil && !f.Test(key) {
+			return true
+		}
+		ex.eng.prov.Put(ex.nq, ex.rehashRID(key), ex.eng.env.Rand().Int63(), &sideTuple{Side: side, T: proj}, ex.plan.TTL)
+		return true
+	})
+}
+
+// rehashRID maps a join key to its NQ resourceID. With ComputeNodes set,
+// keys collapse into that many buckets so the join runs at (about) that
+// many computation nodes; the probe then re-checks key equality.
+func (ex *exec) rehashRID(key string) string {
+	k := ex.plan.ComputeNodes
+	if k <= 0 {
+		return key
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return fmt.Sprintf("bkt%d", h%uint32(k))
+}
+
+// sameJoinKey re-checks key equality for bucketed rehash namespaces.
+func (ex *exec) sameJoinKey(a, b *sideTuple) bool {
+	if ex.plan.ComputeNodes <= 0 {
+		return true
+	}
+	ka := JoinKeyString(a.T, ex.plan.Tables[a.Side].JoinCols)
+	kb := JoinKeyString(b.T, ex.plan.Tables[b.Side].JoinCols)
+	return ka == kb
+}
+
+// registerPairProbe probes NQ on every arrival: the new tuple joins with
+// all previously stored tuples of the opposite table, so every matching
+// pair is produced exactly once ("interleaving building and probing of
+// hash tables on each input relation", §4.1).
+//
+// Rehashed tuples from nodes that received the query multicast early can
+// land here before this node's own copy of the query arrives; a catch-up
+// pass pairs those pre-existing items among themselves.
+func (ex *exec) registerPairProbe() {
+	pairSide := func(st *sideTuple, other *storage.Item) {
+		ot, ok := other.Payload.(*sideTuple)
+		if !ok || ot.Side == st.Side || !ex.sameJoinKey(st, ot) {
+			return
+		}
+		if st.Side == 0 {
+			ex.joined(Concat(st.T, ot.T))
+		} else {
+			ex.joined(Concat(ot.T, st.T))
+		}
+	}
+	unsub := ex.eng.prov.OnNewData(ex.nq, func(it *storage.Item) {
+		st, ok := it.Payload.(*sideTuple)
+		if !ok {
+			return
+		}
+		// This get is expected to stay local (§4.1).
+		ex.eng.prov.Get(ex.nq, it.ResourceID, func(items []*storage.Item) {
+			for _, other := range items {
+				if other != it {
+					pairSide(st, other)
+				}
+			}
+		})
+	})
+	ex.unsubs = append(ex.unsubs, unsub)
+	ex.catchupPairs(func(a, b *storage.Item) {
+		if st, ok := a.Payload.(*sideTuple); ok {
+			pairSide(st, b)
+		}
+	})
+}
+
+// catchupPairs pairs every unordered pair of items already sitting in NQ
+// when the query instantiates, exactly once. New arrivals pair against
+// all stored items (including these) through the newData probe, so no
+// pair is produced twice.
+func (ex *exec) catchupPairs(pair func(a, b *storage.Item)) {
+	var pre []*storage.Item
+	ex.eng.prov.Scan(ex.nq, func(it *storage.Item) bool {
+		pre = append(pre, it)
+		return true
+	})
+	if len(pre) < 2 {
+		return
+	}
+	sort.Slice(pre, func(i, j int) bool {
+		if pre[i].ResourceID != pre[j].ResourceID {
+			return pre[i].ResourceID < pre[j].ResourceID
+		}
+		return pre[i].InstanceID < pre[j].InstanceID
+	})
+	for i := 1; i < len(pre); i++ {
+		for j := 0; j < i; j++ {
+			if pre[i].ResourceID == pre[j].ResourceID {
+				pair(pre[i], pre[j])
+			}
+		}
+	}
+}
+
+// --- Fetch Matches (§4.1) -----------------------------------------------
+
+// startFetchMatches scans the outer table and issues one DHT get per
+// tuple against the inner table, which must already be hashed on the
+// join attribute. Selections on the inner table cannot be pushed into
+// the DHT, so they run after the fetch, at this node.
+func (ex *exec) startFetchMatches() {
+	t0, t1 := ex.plan.Tables[0], ex.plan.Tables[1]
+	ex.eng.prov.Scan(t0.NS, func(it *storage.Item) bool {
+		t, ok := it.Payload.(*Tuple)
+		if !ok {
+			return true
+		}
+		if !ex.pass(t0.Filter, t.Vals) {
+			return true
+		}
+		proj0 := t.Project(t0.Project)
+		key := JoinKeyString(proj0, t0.JoinCols)
+		ex.eng.prov.Get(t1.NS, key, func(items []*storage.Item) {
+			if ex.stopped {
+				return
+			}
+			for _, sit := range items {
+				s, ok := sit.Payload.(*Tuple)
+				if !ok {
+					continue
+				}
+				if !ex.pass(t1.Filter, s.Vals) {
+					continue
+				}
+				ex.joined(Concat(proj0, s.Project(t1.Project)))
+			}
+		})
+		return true
+	})
+}
+
+// --- symmetric semi-join rewrite (§4.2) ----------------------------------
+
+// miniScan rehashes only (resourceID, join key) projections.
+func (ex *exec) miniScan(side int) {
+	tbl := ex.plan.Tables[side]
+	ex.eng.prov.Scan(tbl.NS, func(it *storage.Item) bool {
+		t, ok := it.Payload.(*Tuple)
+		if !ok {
+			return true
+		}
+		if !ex.pass(tbl.Filter, t.Vals) {
+			return true
+		}
+		proj := t.Project(tbl.Project)
+		key := JoinKeyString(proj, tbl.JoinCols)
+		mini := &miniTuple{Side: side, RID: ValueString(proj.Vals[tbl.RIDCol]), Key: key}
+		ex.eng.prov.Put(ex.nq, ex.rehashRID(key), ex.eng.env.Rand().Int63(), mini, ex.plan.TTL)
+		return true
+	})
+}
+
+// registerMiniProbe joins the projections, then fetches the matching
+// base tuples of both tables in parallel ("we issue the two joins'
+// fetches in parallel since we know both fetches will succeed", §4.2).
+func (ex *exec) registerMiniProbe() {
+	pairMini := func(mt *miniTuple, other *storage.Item) {
+		om, ok := other.Payload.(*miniTuple)
+		if !ok || om.Side == mt.Side || om.Key != mt.Key {
+			return
+		}
+		if mt.Side == 0 {
+			ex.pairFetch(mt, om)
+		} else {
+			ex.pairFetch(om, mt)
+		}
+	}
+	unsub := ex.eng.prov.OnNewData(ex.nq, func(it *storage.Item) {
+		mt, ok := it.Payload.(*miniTuple)
+		if !ok {
+			return
+		}
+		ex.eng.prov.Get(ex.nq, it.ResourceID, func(items []*storage.Item) {
+			for _, other := range items {
+				if other != it {
+					pairMini(mt, other)
+				}
+			}
+		})
+	})
+	ex.unsubs = append(ex.unsubs, unsub)
+	ex.catchupPairs(func(a, b *storage.Item) {
+		if mt, ok := a.Payload.(*miniTuple); ok {
+			pairMini(mt, b)
+		}
+	})
+}
+
+func (ex *exec) pairFetch(m0, m1 *miniTuple) {
+	var rs, ss []*Tuple
+	pending := 2
+	finish := func() {
+		pending--
+		if pending != 0 || ex.stopped {
+			return
+		}
+		// Cross product recreates the appropriate number of duplicates.
+		for _, r := range rs {
+			for _, s := range ss {
+				ex.joined(Concat(r, s))
+			}
+		}
+	}
+	ex.fetchSide(0, m0.RID, &rs, finish)
+	ex.fetchSide(1, m1.RID, &ss, finish)
+}
+
+func (ex *exec) fetchSide(side int, rid string, out *[]*Tuple, done func()) {
+	if ex.fetchCache[side] == nil {
+		ex.fetchCache[side] = make(map[string]*fetchEntry)
+	}
+	deliver := func(tuples []*Tuple) {
+		*out = append(*out, tuples...)
+		done()
+	}
+	fe, ok := ex.fetchCache[side][rid]
+	if ok {
+		if fe.done {
+			deliver(fe.tuples)
+		} else {
+			fe.waiters = append(fe.waiters, deliver)
+		}
+		return
+	}
+	fe = &fetchEntry{}
+	ex.fetchCache[side][rid] = fe
+	tbl := ex.plan.Tables[side]
+	ex.eng.prov.Get(tbl.NS, rid, func(items []*storage.Item) {
+		for _, it := range items {
+			t, ok := it.Payload.(*Tuple)
+			if !ok {
+				continue
+			}
+			if !ex.pass(tbl.Filter, t.Vals) {
+				continue
+			}
+			fe.tuples = append(fe.tuples, t.Project(tbl.Project))
+		}
+		fe.done = true
+		deliver(fe.tuples)
+		for _, w := range fe.waiters {
+			w(fe.tuples)
+		}
+		fe.waiters = nil
+	})
+}
+
+// --- Bloom join rewrite (§4.2) -------------------------------------------
+
+func (ex *exec) startBloom() {
+	p := ex.plan
+	for side := range p.Tables {
+		side := side
+		// Collector role: after BloomWait, whoever stores the filters of
+		// this table ORs and multicasts them. Scheduling on every node
+		// is harmless — only the collector holds items.
+		ex.timer(p.BloomWait, func() { ex.emitBloom(side) })
+
+		tbl := p.Tables[side]
+		f := bloom.New(p.BloomBits, p.BloomHashes)
+		count := 0
+		ex.eng.prov.Scan(tbl.NS, func(it *storage.Item) bool {
+			t, ok := it.Payload.(*Tuple)
+			if !ok {
+				return true
+			}
+			if !ex.pass(tbl.Filter, t.Vals) {
+				return true
+			}
+			proj := t.Project(tbl.Project)
+			f.Add(JoinKeyString(proj, tbl.JoinCols))
+			count++
+			return true
+		})
+		if count > 0 {
+			ex.eng.prov.Put(ex.bloomNS(side), "or", ex.eng.nodeIID, &bloomPut{Side: side, F: f}, p.TTL)
+		}
+	}
+}
+
+// emitBloom runs at the collector: OR all received filters for one table
+// and multicast the combination.
+func (ex *exec) emitBloom(side int) {
+	var comb *bloom.Filter
+	ex.eng.prov.Scan(ex.bloomNS(side), func(it *storage.Item) bool {
+		bp, ok := it.Payload.(*bloomPut)
+		if !ok || bp.Side != side {
+			return true
+		}
+		if comb == nil {
+			comb = bp.F.Clone()
+		} else if err := comb.Union(bp.F); err != nil {
+			return true
+		}
+		return true
+	})
+	if comb == nil {
+		return
+	}
+	ex.eng.prov.Multicast(QueryNS, &bloomDist{ID: ex.id, Side: side, F: comb})
+}
+
+// onBloomDist reacts to the OR-ed filter of table `side` by rehashing
+// the opposite table, pruned by the filter.
+func (ex *exec) onBloomDist(m *bloomDist) {
+	if ex.plan.Strategy != BloomJoin || m.Side < 0 || m.Side > 1 || ex.bloomRecv[m.Side] {
+		return
+	}
+	ex.bloomRecv[m.Side] = true
+	ex.rehashScan(1-m.Side, m.F)
+}
+
+// --- grouping and aggregation ---------------------------------------------
+
+func (ex *exec) aggFeed(row *Tuple, w int) {
+	p := ex.plan
+	gkey := JoinKeyString(row, p.GroupBy)
+	key := fmt.Sprintf("%d|%s", w, gkey)
+	pg, ok := ex.partials[key]
+	if !ok {
+		group := make([]Value, len(p.GroupBy))
+		for i, c := range p.GroupBy {
+			group[i] = row.Vals[c]
+		}
+		states := make([]*AggState, len(p.Aggs))
+		for i := range states {
+			states[i] = &AggState{}
+		}
+		pg = &partialGroup{window: w, group: group, states: states}
+		ex.partials[key] = pg
+	}
+	for i, a := range p.Aggs {
+		var v Value
+		if a.Col >= 0 {
+			v = row.Vals[a.Col]
+		}
+		pg.states[i].Update(v)
+	}
+	ex.dirty[key] = true
+	// Joins and streams keep feeding groups; flush periodically.
+	if len(p.Tables) == 2 || p.Continuous {
+		ex.ensureFlusher()
+	}
+}
+
+func (ex *exec) ensureFlusher() {
+	if ex.flushStop != nil {
+		return
+	}
+	ex.flushStop = env.Every(ex.eng.env, ex.eng.cfg.AggFlushInterval, ex.flushPartials)
+}
+
+// flushPartials re-puts every dirty group's partial state. The stable
+// per-node instanceID makes the put a replace, so repeated flushes of a
+// monotonically growing state are idempotent at the collector.
+func (ex *exec) flushPartials() {
+	for key := range ex.dirty {
+		pg := ex.partials[key]
+		states := make([]*AggState, len(pg.states))
+		for i, s := range pg.states {
+			c := *s
+			states[i] = &c
+		}
+		rid := key
+		if f := ex.plan.AggFanout; f > 0 {
+			// Level-1 site: this node's partials combine at one of f
+			// intermediate sites for the group.
+			rid = fmt.Sprintf("%s\x1e%d", key, ex.eng.nodeIID%int64(f))
+		}
+		ex.eng.prov.Put(ex.aggNS, rid, ex.eng.nodeIID,
+			&partialAgg{Window: pg.window, Group: pg.group, States: states}, ex.plan.TTL)
+		delete(ex.dirty, key)
+	}
+}
+
+// combineLevel1 runs at intermediate aggregation sites: merge the
+// partials of each "<group>#<bucket>" rid stored here and forward one
+// combined partial to the group root.
+func (ex *exec) combineLevel1(w int) {
+	type comb struct {
+		base   string
+		window int
+		group  []Value
+		states []*AggState
+	}
+	combined := map[string]*comb{}
+	ex.eng.prov.Scan(ex.aggNS, func(it *storage.Item) bool {
+		pa, ok := it.Payload.(*partialAgg)
+		if !ok || pa.Window != w {
+			return true
+		}
+		hash := strings.LastIndexByte(it.ResourceID, 0x1e)
+		if hash < 0 {
+			return true // root-level partial, not ours to combine
+		}
+		c, ok := combined[it.ResourceID]
+		if !ok {
+			states := make([]*AggState, len(pa.States))
+			for i := range states {
+				states[i] = &AggState{}
+			}
+			c = &comb{base: it.ResourceID[:hash], window: pa.Window, group: pa.Group, states: states}
+			combined[it.ResourceID] = c
+		}
+		for i, s := range pa.States {
+			c.states[i].Merge(s)
+		}
+		return true
+	})
+	for rid, c := range combined {
+		// Stable per-bucket iid so distinct intermediate sites (and
+		// re-combines) never collide at the root.
+		ex.eng.prov.Put(ex.aggNS, c.base, ridIID(rid),
+			&partialAgg{Window: c.window, Group: c.group, States: c.states}, ex.plan.TTL)
+	}
+}
+
+// ridIID derives a stable instanceID from a resourceID.
+func ridIID(rid string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(rid))
+	return int64(h.Sum64() >> 1)
+}
+
+func (ex *exec) scheduleAggEmit() {
+	p := ex.plan
+	if !p.Continuous {
+		if p.AggFanout > 0 {
+			ex.timer(p.AggWait/2, func() { ex.combineLevel1(0) })
+		}
+		ex.timer(p.AggWait, func() { ex.emitGroups(0) })
+		return
+	}
+	max := p.Windows
+	if max <= 0 {
+		max = int(p.TTL / p.Every)
+	}
+	for w := 0; w < max; w++ {
+		w := w
+		if p.AggFanout > 0 {
+			ex.timer(time.Duration(w+1)*p.Every+p.AggWait/2, func() { ex.combineLevel1(w) })
+		}
+		ex.timer(time.Duration(w+1)*p.Every+p.AggWait, func() { ex.emitGroups(w) })
+	}
+}
+
+// emitGroups runs at group collectors: merge the partials of window w
+// stored locally, apply HAVING and the output expressions, and ship the
+// groups to the initiator.
+func (ex *exec) emitGroups(w int) {
+	type combined struct {
+		group  []Value
+		states []*AggState
+	}
+	groups := make(map[string]*combined)
+	order := []string{}
+	ex.eng.prov.Scan(ex.aggNS, func(it *storage.Item) bool {
+		pa, ok := it.Payload.(*partialAgg)
+		if !ok || pa.Window != w {
+			return true
+		}
+		if ex.plan.AggFanout > 0 && strings.ContainsRune(it.ResourceID, 0x1e) {
+			return true // level-1 partial: combined by combineLevel1
+		}
+		cg, ok := groups[it.ResourceID]
+		if !ok {
+			states := make([]*AggState, len(pa.States))
+			for i := range states {
+				states[i] = &AggState{}
+			}
+			cg = &combined{group: pa.Group, states: states}
+			groups[it.ResourceID] = cg
+			order = append(order, it.ResourceID)
+		}
+		for i, s := range pa.States {
+			cg.states[i].Merge(s)
+		}
+		return true
+	})
+	if len(groups) == 0 {
+		return
+	}
+	var out []*Tuple
+	for _, rid := range order {
+		cg := groups[rid]
+		row := make([]Value, 0, len(cg.group)+len(cg.states))
+		row = append(row, cg.group...)
+		for i, s := range cg.states {
+			row = append(row, s.Final(ex.plan.Aggs[i].Kind))
+		}
+		if ex.plan.Having != nil && !Truthy(ex.plan.Having.Eval(row)) {
+			continue
+		}
+		t := &Tuple{Rel: "group", Vals: row}
+		if len(ex.plan.Output) > 0 {
+			vals := make([]Value, len(ex.plan.Output))
+			for i, e := range ex.plan.Output {
+				vals[i] = e.Eval(row)
+			}
+			t = &Tuple{Rel: "group", Vals: vals}
+		}
+		out = append(out, t)
+	}
+	if len(out) > 0 {
+		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: w, Tuples: out})
+	}
+}

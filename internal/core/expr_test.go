@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func row(vs ...Value) []Value { return vs }
+
+func TestColAndConst(t *testing.T) {
+	e := &Col{Idx: 1}
+	if got := e.Eval(row(int64(1), "x")); got != "x" {
+		t.Fatalf("Col = %v", got)
+	}
+	c := &Const{V: int64(9)}
+	if got := c.Eval(nil); got != int64(9) {
+		t.Fatalf("Const = %v", got)
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r Value
+		want bool
+	}{
+		{EQ, int64(3), int64(3), true},
+		{EQ, int64(3), float64(3), true}, // numeric coercion
+		{NE, "a", "b", true},
+		{LT, int64(2), int64(3), true},
+		{LE, int64(3), int64(3), true},
+		{GT, float64(3.5), int64(3), true},
+		{GE, int64(2), int64(3), false},
+		{LT, "abc", "abd", true},
+	}
+	for _, c := range cases {
+		e := &Cmp{Op: c.op, L: &Const{V: c.l}, R: &Const{V: c.r}}
+		if got := e.Eval(nil); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	tr, fa := &Const{V: true}, &Const{V: false}
+	if (&And{tr, fa}).Eval(nil) != false {
+		t.Error("true AND false")
+	}
+	if (&Or{tr, fa}).Eval(nil) != true {
+		t.Error("true OR false")
+	}
+	if (&Not{tr}).Eval(nil) != false {
+		t.Error("NOT true")
+	}
+}
+
+func TestArithIntAndFloat(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		l, r Value
+		want Value
+	}{
+		{Add, int64(2), int64(3), int64(5)},
+		{Sub, int64(2), int64(3), int64(-1)},
+		{Mul, int64(4), int64(3), int64(12)},
+		{Div, int64(7), int64(2), int64(3)},
+		{Mod, int64(7), int64(4), int64(3)},
+		{Add, float64(1.5), int64(1), float64(2.5)},
+		{Div, float64(7), float64(2), float64(3.5)},
+	}
+	for _, c := range cases {
+		e := &Arith{Op: c.op, L: &Const{V: c.l}, R: &Const{V: c.r}}
+		if got := e.Eval(nil); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestDivByZeroIsNil(t *testing.T) {
+	if got := (&Arith{Op: Div, L: &Const{V: int64(1)}, R: &Const{V: int64(0)}}).Eval(nil); got != nil {
+		t.Fatalf("1/0 = %v, want nil", got)
+	}
+	if got := (&Arith{Op: Mod, L: &Const{V: int64(1)}, R: &Const{V: int64(0)}}).Eval(nil); got != nil {
+		t.Fatalf("1%%0 = %v, want nil", got)
+	}
+}
+
+func TestCallRegisteredFunction(t *testing.T) {
+	RegisterFunc("twice", func(args []Value) Value {
+		x, _ := args[0].(int64)
+		return 2 * x
+	})
+	e := &Call{Name: "twice", Args: []Expr{&Col{Idx: 0}}}
+	if got := e.Eval(row(int64(21))); got != int64(42) {
+		t.Fatalf("twice(21) = %v", got)
+	}
+	unknown := &Call{Name: "no-such-fn"}
+	if got := unknown.Eval(nil); got != nil {
+		t.Fatalf("unknown fn = %v, want nil", got)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	for _, v := range []Value{nil, false, int64(0), float64(0), ""} {
+		if Truthy(v) {
+			t.Errorf("Truthy(%v) = true", v)
+		}
+	}
+	for _, v := range []Value{true, int64(1), float64(-1), "x"} {
+		if !Truthy(v) {
+			t.Errorf("Truthy(%v) = false", v)
+		}
+	}
+}
+
+func TestCompareValuesTotalOrderProperty(t *testing.T) {
+	gen := func(seed int64) Value {
+		switch seed % 4 {
+		case 0:
+			return seed / 4
+		case 1:
+			return float64(seed) / 8
+		case 2:
+			return ValueString(seed % 100)
+		default:
+			return seed%2 == 0
+		}
+	}
+	check := func(a, b, c int64) bool {
+		x, y, z := gen(a), gen(b), gen(c)
+		// Antisymmetry.
+		if CompareValues(x, y) != -CompareValues(y, x) {
+			return false
+		}
+		// Transitivity of <=.
+		if CompareValues(x, y) <= 0 && CompareValues(y, z) <= 0 && CompareValues(x, z) > 0 {
+			return false
+		}
+		return CompareValues(x, x) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprStringAndWireSize(t *testing.T) {
+	e := &And{
+		L: &Cmp{Op: GT, L: &Col{Idx: 2}, R: &Const{V: int64(50)}},
+		R: &Call{Name: "f", Args: []Expr{&Col{Idx: 3}}},
+	}
+	if e.String() == "" || e.WireSize() <= 0 {
+		t.Fatal("expressions must render and have a size")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"encoding/gob"
+
+	"pier/internal/core/bloom"
+	"pier/internal/env"
+)
+
+// queryMsg is the multicast payload that disseminates a query to every
+// node (§3.2.3: "To run a query, PIER attempts to contact the nodes that
+// hold data in a particular namespace" via multicast).
+type queryMsg struct {
+	ID        uint64
+	Initiator env.Addr
+	Plan      *Plan
+}
+
+// WireSize implements env.Message.
+func (m *queryMsg) WireSize() int { return 8 + env.AddrSize + m.Plan.WireSize() }
+
+// resultMsg delivers output tuples directly to the query initiator.
+type resultMsg struct {
+	ID     uint64
+	Window int
+	Tuples []*Tuple
+}
+
+// WireSize implements env.Message.
+func (m *resultMsg) WireSize() int {
+	n := env.HeaderSize + 12
+	for _, t := range m.Tuples {
+		n += t.WireSize()
+	}
+	return n
+}
+
+// sideTuple is the rehash payload of the symmetric hash and Bloom joins:
+// a filtered, projected tuple tagged with its source table ("all copies
+// are tagged with their source table name", §4.1).
+type sideTuple struct {
+	Side int
+	T    *Tuple
+}
+
+// WireSize implements env.Message.
+func (m *sideTuple) WireSize() int { return 1 + m.T.WireSize() }
+
+// miniTuple is the semi-join rewrite's projection: just the base
+// resourceID and the join key (§4.2).
+type miniTuple struct {
+	Side int
+	RID  string
+	Key  string
+}
+
+// WireSize implements env.Message.
+func (m *miniTuple) WireSize() int {
+	return 1 + env.StringSize(m.RID) + env.StringSize(m.Key)
+}
+
+// bloomPut carries one node's local Bloom filter to the per-table
+// collector namespace.
+type bloomPut struct {
+	Side int
+	F    *bloom.Filter
+}
+
+// WireSize implements env.Message.
+func (m *bloomPut) WireSize() int { return 1 + m.F.WireSize() }
+
+// bloomDist is the multicast payload redistributing the OR-ed filter of
+// one table to the nodes holding the opposite table.
+type bloomDist struct {
+	ID   uint64
+	Side int
+	F    *bloom.Filter
+}
+
+// WireSize implements env.Message.
+func (m *bloomDist) WireSize() int { return 9 + m.F.WireSize() }
+
+// partialAgg is one node's partial aggregation state for one group (and
+// window, for continuous queries), put into the aggregation namespace.
+type partialAgg struct {
+	Window int
+	Group  []Value
+	States []*AggState
+}
+
+// WireSize implements env.Message.
+func (m *partialAgg) WireSize() int {
+	n := 4
+	for _, v := range m.Group {
+		n += ValueSize(v)
+	}
+	for _, s := range m.States {
+		n += s.WireSize()
+	}
+	return n
+}
+
+func init() {
+	gob.Register(&queryMsg{})
+	gob.Register(&resultMsg{})
+	gob.Register(&sideTuple{})
+	gob.Register(&miniTuple{})
+	gob.Register(&bloomPut{})
+	gob.Register(&bloomDist{})
+	gob.Register(&partialAgg{})
+	gob.Register(&bloom.Filter{})
+}

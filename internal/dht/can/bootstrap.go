@@ -1,0 +1,136 @@
+package can
+
+import (
+	"math/rand"
+
+	"pier/internal/dht"
+	"pier/internal/env"
+)
+
+// SpaceMap is an oracle over a bootstrapped CAN: a binary tree of zone
+// splits that resolves any key to the owning node index in O(depth).
+// The simulation harness uses it to bulk-load tables directly into the
+// responsible nodes, matching the paper's setup: "All measurements ...
+// are performed after the CAN routing stabilizes, and tables R and S are
+// loaded into the DHT" (§5.2).
+type SpaceMap struct {
+	root *treeNode
+	dims int
+}
+
+type treeNode struct {
+	zone  Zone
+	owner int // leaf: node index
+	dim   int
+	mid   uint64
+	lo    *treeNode // child covering coordinate < mid along dim
+	hi    *treeNode
+}
+
+// Bootstrap constructs a stable n-node CAN directly, bypassing the join
+// protocol: node 0 starts with the whole space, and each subsequent node
+// joins at a random point using the same split rule the protocol applies.
+// Routers receive their zones and complete neighbor tables, and are
+// marked joined. Returns the owner oracle.
+func Bootstrap(routers []*Router, seed int64) *SpaceMap {
+	if len(routers) == 0 {
+		return nil
+	}
+	dims := routers[0].cfg.Dims
+	rng := rand.New(rand.NewSource(seed))
+	sm := &SpaceMap{dims: dims, root: &treeNode{zone: RootZone(dims), owner: 0}}
+	leaves := make([]*treeNode, 1, len(routers))
+	leaves[0] = sm.root
+
+	point := make([]uint32, dims)
+	for i := 1; i < len(routers); i++ {
+		for j := range point {
+			point[j] = rng.Uint32()
+		}
+		leaf := sm.locate(point)
+		for !leaf.zone.Splittable() {
+			// Astronomically unlikely with 32-bit coordinates; pick again.
+			for j := range point {
+				point[j] = rng.Uint32()
+			}
+			leaf = sm.locate(point)
+		}
+		lower, upper := leaf.zone.Split()
+		dim := leaf.zone.Depth % dims
+		leaf.dim, leaf.mid = dim, lower.Hi[dim]
+		lo := &treeNode{zone: lower, owner: leaf.owner}
+		hi := &treeNode{zone: upper, owner: leaf.owner}
+		if lower.Contains(point) {
+			lo.owner = i
+		} else {
+			hi.owner = i
+		}
+		leaf.lo, leaf.hi = lo, hi
+		leaf.owner = -1
+		leaves = append(leaves, lo, hi)
+	}
+
+	// Collect final leaves per node and build neighbor tables.
+	zones := make([][]Zone, len(routers))
+	finals := leaves[:0]
+	for _, l := range leaves {
+		if l.lo == nil {
+			finals = append(finals, l)
+			zones[l.owner] = append(zones[l.owner], l.zone)
+		}
+	}
+	type nbr struct{ a, b int }
+	adj := make(map[nbr]bool)
+	for i := 0; i < len(finals); i++ {
+		for j := i + 1; j < len(finals); j++ {
+			a, b := finals[i], finals[j]
+			if a.owner == b.owner {
+				continue
+			}
+			if Adjacent(a.zone, b.zone) {
+				x, y := a.owner, b.owner
+				if x > y {
+					x, y = y, x
+				}
+				adj[nbr{x, y}] = true
+			}
+		}
+	}
+	now := routers[0].env.Now()
+	for i, r := range routers {
+		r.zones = cloneZones(zones[i])
+		r.joined = true
+		r.neighbors = make(map[env.Addr]*neighborInfo)
+	}
+	for e := range adj {
+		ra, rb := routers[e.a], routers[e.b]
+		ra.neighbors[rb.env.Addr()] = &neighborInfo{zones: rb.zones, lastHeard: now}
+		rb.neighbors[ra.env.Addr()] = &neighborInfo{zones: ra.zones, lastHeard: now}
+	}
+	for _, r := range routers {
+		r.startMaintenance()
+		r.fireLocChange()
+	}
+	return sm
+}
+
+func (m *SpaceMap) locate(p []uint32) *treeNode {
+	n := m.root
+	for n.lo != nil {
+		if uint64(p[n.dim]) < n.mid {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+	}
+	return n
+}
+
+// Owner returns the index of the node responsible for k.
+func (m *SpaceMap) Owner(k dht.Key) int { return m.locate(k.Point(m.dims)).owner }
+
+// OwnerOf returns the index of the node responsible for
+// (namespace, resourceID).
+func (m *SpaceMap) OwnerOf(namespace, resourceID string) int {
+	return m.Owner(dht.KeyOf(namespace, resourceID))
+}

@@ -1,0 +1,111 @@
+package can
+
+import (
+	"encoding/gob"
+
+	"pier/internal/env"
+)
+
+func init() {
+	gob.Register(&lookupMsg{})
+	gob.Register(&lookupReply{})
+	gob.Register(&joinReq{})
+	gob.Register(&joinReply{})
+	gob.Register(&neighborUpdate{})
+	gob.Register(&takeoverNotice{})
+	gob.Register(&leaveNotice{})
+}
+
+func zonesWireSize(zs []Zone) int {
+	n := 2
+	for _, z := range zs {
+		n += 2*8*z.Dims() + 2
+	}
+	return n
+}
+
+func nbrsWireSize(m map[env.Addr][]Zone) int {
+	n := 2
+	for _, zs := range m {
+		n += env.AddrSize + zonesWireSize(zs)
+	}
+	return n
+}
+
+// lookupMsg is routed greedily toward Point; the owner replies directly
+// to Origin.
+type lookupMsg struct {
+	Point  []uint32
+	Origin env.Addr
+	Nonce  uint64
+	Hops   uint16
+}
+
+func (m *lookupMsg) WireSize() int {
+	return env.HeaderSize + 4*len(m.Point) + env.AddrSize + 10
+}
+
+// lookupReply is sent by the owner of the looked-up point directly to the
+// origin; the sender address is the answer.
+type lookupReply struct {
+	Nonce uint64
+	Hops  uint16
+}
+
+func (m *lookupReply) WireSize() int { return env.HeaderSize + 10 }
+
+// joinReq is routed to the owner of Point, who splits its zone and hands
+// the half containing Point to Joiner.
+type joinReq struct {
+	Point  []uint32
+	Joiner env.Addr
+	Hops   uint16
+}
+
+func (m *joinReq) WireSize() int {
+	return env.HeaderSize + 4*len(m.Point) + env.AddrSize + 2
+}
+
+// joinReply carries the new node's zone and a snapshot of the splitter's
+// neighborhood so the joiner can build its routing table.
+type joinReply struct {
+	Zone      Zone
+	Neighbors map[env.Addr][]Zone
+}
+
+func (m *joinReply) WireSize() int {
+	return env.HeaderSize + zonesWireSize([]Zone{m.Zone}) + nbrsWireSize(m.Neighbors)
+}
+
+// neighborUpdate doubles as the keepalive: it advertises the sender's
+// zones and (for deterministic takeover) the sender's own neighbor table.
+type neighborUpdate struct {
+	Zones []Zone
+	Nbrs  map[env.Addr][]Zone
+}
+
+func (m *neighborUpdate) WireSize() int {
+	return env.HeaderSize + zonesWireSize(m.Zones) + nbrsWireSize(m.Nbrs)
+}
+
+// takeoverNotice announces that the sender has adopted the zones of a
+// failed or departed node.
+type takeoverNotice struct {
+	Dead  env.Addr
+	Zones []Zone // the sender's full zone set after the takeover
+}
+
+func (m *takeoverNotice) WireSize() int {
+	return env.HeaderSize + env.AddrSize + zonesWireSize(m.Zones)
+}
+
+// leaveNotice hands the sender's zones to the receiver on graceful
+// departure; Nbrs lets the receiver stitch the neighborhood together.
+type leaveNotice struct {
+	Zones []Zone
+	Nbrs  map[env.Addr][]Zone
+}
+
+func (m *leaveNotice) WireSize() int {
+	return env.HeaderSize + zonesWireSize(m.Zones) + nbrsWireSize(m.Nbrs)
+}

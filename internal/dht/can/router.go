@@ -1,0 +1,622 @@
+package can
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"pier/internal/dht"
+	"pier/internal/env"
+)
+
+// Config controls a CAN router instance.
+type Config struct {
+	// Dims is the dimensionality d of the coordinate space. The paper's
+	// simulations use d=4 (its §5.5.1 analysis models the average lookup
+	// as n^(1/4) hops).
+	Dims int
+
+	// Maintenance enables periodic keepalives and failure detection.
+	// Static experiments (Figures 3-5, Table 4) run with maintenance off
+	// so that simulations quiesce; the churn experiment (Figure 6) turns
+	// it on.
+	Maintenance bool
+
+	// KeepaliveInterval is how often neighbors exchange keepalives.
+	KeepaliveInterval time.Duration
+
+	// FailTimeout is how long a neighbor must stay silent before it is
+	// declared failed; the paper assumes 15 seconds (§5.6).
+	FailTimeout time.Duration
+
+	// LookupTimeout bounds how long a Lookup waits before reporting
+	// failure with env.NilAddr.
+	LookupTimeout time.Duration
+
+	// JoinRetry is how long a joiner waits for a join reply before
+	// retrying with a fresh random point.
+	JoinRetry time.Duration
+
+	// MaxHops caps greedy routing to break transient loops.
+	MaxHops int
+}
+
+// DefaultConfig returns the paper's simulation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Dims:              4,
+		KeepaliveInterval: 5 * time.Second,
+		FailTimeout:       15 * time.Second,
+		LookupTimeout:     30 * time.Second,
+		JoinRetry:         20 * time.Second,
+		MaxHops:           512,
+	}
+}
+
+type neighborInfo struct {
+	zones     []Zone
+	lastHeard time.Time
+	// nbrs is the neighbor's own advertised neighbor table, used to pick
+	// the takeover claimant deterministically when it fails.
+	nbrs map[env.Addr][]Zone
+}
+
+// Router is a CAN node's routing layer. It implements dht.Router.
+type Router struct {
+	env env.Env
+	cfg Config
+
+	joined    bool
+	zones     []Zone
+	neighbors map[env.Addr]*neighborInfo
+
+	locChange []func()
+
+	nonce     uint64
+	pending   map[uint64]*pendingLookup
+	stopMaint func()
+	joinTimer env.Timer
+
+	// adopted tracks zones taken over per dead node, for reconciling
+	// duplicate claims.
+	adopted map[env.Addr][]Zone
+
+	// Hop statistics for the evaluation (§5.5.1 analysis bench).
+	LookupCount int64
+	LookupHops  int64
+}
+
+// dropZones removes the given zones (matched by bounds) from the owned
+// set.
+func (r *Router) dropZones(zs []Zone) {
+	keep := r.zones[:0]
+outer:
+	for _, z := range r.zones {
+		for _, d := range zs {
+			if sameZone(z, d) {
+				continue outer
+			}
+		}
+		keep = append(keep, z)
+	}
+	r.zones = keep
+}
+
+func sameZone(a, b Zone) bool {
+	if a.Dims() != b.Dims() {
+		return false
+	}
+	for i := range a.Lo {
+		if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type pendingLookup struct {
+	cb    func(env.Addr)
+	timer env.Timer
+}
+
+// New creates a CAN router bound to the node environment. Call Join to
+// enter (or create) a network.
+func New(e env.Env, cfg Config) *Router {
+	if cfg.Dims <= 0 {
+		cfg.Dims = 4
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 512
+	}
+	if cfg.KeepaliveInterval <= 0 {
+		cfg.KeepaliveInterval = 5 * time.Second
+	}
+	if cfg.FailTimeout <= 0 {
+		cfg.FailTimeout = 15 * time.Second
+	}
+	if cfg.LookupTimeout <= 0 {
+		cfg.LookupTimeout = 30 * time.Second
+	}
+	if cfg.JoinRetry <= 0 {
+		cfg.JoinRetry = 20 * time.Second
+	}
+	return &Router{
+		env:       e,
+		cfg:       cfg,
+		neighbors: make(map[env.Addr]*neighborInfo),
+		pending:   make(map[uint64]*pendingLookup),
+	}
+}
+
+// Dims returns the configured dimensionality.
+func (r *Router) Dims() int { return r.cfg.Dims }
+
+// LookupStats reports how many lookups this node initiated and the total
+// overlay hops their answers traversed (§5.5.1's analysis input).
+func (r *Router) LookupStats() (count, hops int64) { return r.LookupCount, r.LookupHops }
+
+// Zones returns the node's currently owned zones (normally one; more
+// after a takeover).
+func (r *Router) Zones() []Zone { return r.zones }
+
+// Ready implements dht.Router.
+func (r *Router) Ready() bool { return r.joined && len(r.zones) > 0 }
+
+// Owns implements dht.Router.
+func (r *Router) Owns(k dht.Key) bool { return r.ownsPoint(k.Point(r.cfg.Dims)) }
+
+func (r *Router) ownsPoint(p []uint32) bool {
+	for _, z := range r.zones {
+		if z.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors implements dht.Router.
+func (r *Router) Neighbors() []env.Addr {
+	out := make([]env.Addr, 0, len(r.neighbors))
+	for a := range r.neighbors {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OnLocationMapChange implements dht.Router.
+func (r *Router) OnLocationMapChange(f func()) { r.locChange = append(r.locChange, f) }
+
+func (r *Router) fireLocChange() {
+	for _, f := range r.locChange {
+		f()
+	}
+}
+
+// Join implements dht.Router. With env.NilAddr it creates a new network
+// owning the whole coordinate space; otherwise it routes a join request
+// via the landmark to the owner of a random point (§3.1.1).
+func (r *Router) Join(landmark env.Addr) {
+	if landmark == env.NilAddr {
+		r.zones = []Zone{RootZone(r.cfg.Dims)}
+		r.joined = true
+		r.startMaintenance()
+		r.fireLocChange()
+		return
+	}
+	r.sendJoin(landmark)
+}
+
+func (r *Router) sendJoin(landmark env.Addr) {
+	p := r.randomPoint()
+	r.env.Send(landmark, &joinReq{Point: p, Joiner: r.env.Addr()})
+	r.joinTimer = r.env.After(r.cfg.JoinRetry, func() {
+		if !r.joined {
+			r.sendJoin(landmark)
+		}
+	})
+}
+
+func (r *Router) randomPoint() []uint32 {
+	p := make([]uint32, r.cfg.Dims)
+	for i := range p {
+		p[i] = r.env.Rand().Uint32()
+	}
+	return p
+}
+
+// Leave implements dht.Router: the node hands its zones to its
+// smallest-volume neighbor and departs, returning that neighbor.
+func (r *Router) Leave() env.Addr {
+	if !r.joined {
+		return env.NilAddr
+	}
+	target, ok := r.smallestNeighbor()
+	if ok {
+		r.env.Send(target, &leaveNotice{Zones: r.zones, Nbrs: r.neighborSummary()})
+	}
+	r.joined = false
+	r.zones = nil
+	r.neighbors = make(map[env.Addr]*neighborInfo)
+	if r.stopMaint != nil {
+		r.stopMaint()
+		r.stopMaint = nil
+	}
+	r.fireLocChange()
+	return target
+}
+
+func (r *Router) smallestNeighbor() (env.Addr, bool) {
+	best := env.NilAddr
+	bestVol := math.Inf(1)
+	for a, ni := range r.neighbors {
+		v := TotalVolume(ni.zones)
+		if v < bestVol || (v == bestVol && a < best) {
+			best, bestVol = a, v
+		}
+	}
+	return best, best != env.NilAddr
+}
+
+// Lookup implements dht.Router.
+func (r *Router) Lookup(k dht.Key, cb func(env.Addr)) {
+	p := k.Point(r.cfg.Dims)
+	r.LookupCount++
+	if r.ownsPoint(p) {
+		cb(r.env.Addr())
+		return
+	}
+	r.nonce++
+	n := r.nonce
+	pl := &pendingLookup{cb: cb}
+	pl.timer = r.env.After(r.cfg.LookupTimeout, func() {
+		if _, ok := r.pending[n]; ok {
+			delete(r.pending, n)
+			cb(env.NilAddr)
+		}
+	})
+	r.pending[n] = pl
+	r.forward(p, &lookupMsg{Point: p, Origin: r.env.Addr(), Nonce: n}, env.NilAddr)
+}
+
+// forward greedily sends m toward the owner of point p, skipping the
+// neighbor the message arrived from when possible.
+func (r *Router) forward(p []uint32, m env.Message, exclude env.Addr) bool {
+	best := env.NilAddr
+	bestDist := math.Inf(1)
+	for a, ni := range r.neighbors {
+		if a == exclude {
+			continue
+		}
+		d := MinDistanceSq(ni.zones, p)
+		if d < bestDist || (d == bestDist && a < best) {
+			best, bestDist = a, d
+		}
+	}
+	if best == env.NilAddr && exclude != env.NilAddr {
+		// Only the arrival link is available; bounce back rather than drop.
+		best = exclude
+	}
+	if best == env.NilAddr {
+		return false
+	}
+	r.env.Send(best, m)
+	return true
+}
+
+// HandleMessage implements dht.Router.
+func (r *Router) HandleMessage(from env.Addr, m env.Message) bool {
+	switch msg := m.(type) {
+	case *lookupMsg:
+		r.onLookup(from, msg)
+	case *lookupReply:
+		r.onLookupReply(from, msg)
+	case *joinReq:
+		r.onJoinReq(from, msg)
+	case *joinReply:
+		r.onJoinReply(from, msg)
+	case *neighborUpdate:
+		r.onNeighborUpdate(from, msg)
+	case *takeoverNotice:
+		r.onTakeover(from, msg)
+	case *leaveNotice:
+		r.onLeave(from, msg)
+	default:
+		return false
+	}
+	return true
+}
+
+func (r *Router) onLookup(from env.Addr, m *lookupMsg) {
+	if r.ownsPoint(m.Point) {
+		r.env.Send(m.Origin, &lookupReply{Nonce: m.Nonce, Hops: m.Hops + 1})
+		return
+	}
+	m.Hops++
+	if int(m.Hops) > r.cfg.MaxHops {
+		return
+	}
+	r.forward(m.Point, m, from)
+}
+
+func (r *Router) onLookupReply(from env.Addr, m *lookupReply) {
+	pl, ok := r.pending[m.Nonce]
+	if !ok {
+		return
+	}
+	delete(r.pending, m.Nonce)
+	pl.timer.Stop()
+	r.LookupHops += int64(m.Hops)
+	pl.cb(from)
+}
+
+func (r *Router) onJoinReq(from env.Addr, m *joinReq) {
+	if !r.joined {
+		return
+	}
+	if !r.ownsPoint(m.Point) {
+		m.Hops++
+		if int(m.Hops) > r.cfg.MaxHops {
+			return
+		}
+		r.forward(m.Point, m, from)
+		return
+	}
+	// Split the zone containing the point; the joiner receives the half
+	// containing its chosen point, this node keeps the other half.
+	zi := -1
+	for i, z := range r.zones {
+		if z.Contains(m.Point) {
+			zi = i
+			break
+		}
+	}
+	if zi < 0 || !r.zones[zi].Splittable() || m.Joiner == r.env.Addr() {
+		return
+	}
+	lower, upper := r.zones[zi].Split()
+	keep, give := lower, upper
+	if lower.Contains(m.Point) {
+		keep, give = upper, lower
+	}
+	r.zones[zi] = keep
+
+	// Snapshot for the joiner: our neighbors plus ourselves (post-split).
+	snapshot := make(map[env.Addr][]Zone, len(r.neighbors)+1)
+	for a, ni := range r.neighbors {
+		snapshot[a] = ni.zones
+	}
+	snapshot[r.env.Addr()] = cloneZones(r.zones)
+	r.env.Send(m.Joiner, &joinReply{Zone: give, Neighbors: snapshot})
+
+	// Tell every old neighbor about our shrunken zone set before pruning,
+	// so nodes that are no longer adjacent drop us symmetrically.
+	r.broadcastUpdate()
+	// The joiner becomes a neighbor; prune neighbors that are no longer
+	// adjacent to our shrunken zone set.
+	r.neighbors[m.Joiner] = &neighborInfo{zones: []Zone{give}, lastHeard: r.env.Now()}
+	r.pruneNeighbors()
+	r.fireLocChange()
+}
+
+func (r *Router) onJoinReply(from env.Addr, m *joinReply) {
+	if r.joined {
+		return
+	}
+	if r.joinTimer != nil {
+		r.joinTimer.Stop()
+		r.joinTimer = nil
+	}
+	r.joined = true
+	r.zones = []Zone{m.Zone}
+	r.neighbors = make(map[env.Addr]*neighborInfo)
+	for a, zs := range m.Neighbors {
+		if a == r.env.Addr() {
+			continue
+		}
+		if AnyAdjacent(r.zones, zs) {
+			r.neighbors[a] = &neighborInfo{zones: zs, lastHeard: r.env.Now()}
+		}
+	}
+	r.broadcastUpdate()
+	r.startMaintenance()
+	r.fireLocChange()
+}
+
+func (r *Router) onNeighborUpdate(from env.Addr, m *neighborUpdate) {
+	if !r.joined {
+		return
+	}
+	if !AnyAdjacent(r.zones, m.Zones) {
+		if _, known := r.neighbors[from]; known {
+			delete(r.neighbors, from)
+			// One-shot reply so the peer re-evaluates adjacency against
+			// our current zones and prunes us too. The peer only replies
+			// in turn if it still knows us, so this cannot loop.
+			r.env.Send(from, &neighborUpdate{Zones: cloneZones(r.zones)})
+		}
+		return
+	}
+	ni, known := r.neighbors[from]
+	if !known {
+		ni = &neighborInfo{}
+		r.neighbors[from] = ni
+	}
+	ni.zones = m.Zones
+	ni.lastHeard = r.env.Now()
+	if m.Nbrs != nil {
+		ni.nbrs = m.Nbrs
+	}
+	if !known {
+		// Introduce ourselves so the link is symmetric.
+		r.env.Send(from, &neighborUpdate{Zones: cloneZones(r.zones)})
+	}
+}
+
+func (r *Router) onTakeover(from env.Addr, m *takeoverNotice) {
+	if !r.joined {
+		return
+	}
+	delete(r.neighbors, m.Dead)
+	// Reconcile duplicate claims: if we also adopted this dead node's
+	// zones, the lower address keeps them.
+	if mine, ok := r.adopted[m.Dead]; ok && from < r.env.Addr() {
+		delete(r.adopted, m.Dead)
+		r.dropZones(mine)
+		r.fireLocChange()
+	}
+	if AnyAdjacent(r.zones, m.Zones) {
+		ni, ok := r.neighbors[from]
+		if !ok {
+			ni = &neighborInfo{}
+			r.neighbors[from] = ni
+		}
+		ni.zones = m.Zones
+		ni.lastHeard = r.env.Now()
+	}
+}
+
+func (r *Router) onLeave(from env.Addr, m *leaveNotice) {
+	if !r.joined {
+		return
+	}
+	r.adoptZones(from, m.Zones, m.Nbrs)
+}
+
+// adoptZones merges a departed node's zones into ours and stitches up the
+// neighborhood.
+func (r *Router) adoptZones(dead env.Addr, zones []Zone, deadNbrs map[env.Addr][]Zone) {
+	r.zones = append(r.zones, cloneZones(zones)...)
+	delete(r.neighbors, dead)
+	for a, zs := range deadNbrs {
+		if a == r.env.Addr() || a == dead {
+			continue
+		}
+		if _, ok := r.neighbors[a]; !ok && AnyAdjacent(r.zones, zs) {
+			r.neighbors[a] = &neighborInfo{zones: zs, lastHeard: r.env.Now()}
+		}
+	}
+	notice := &takeoverNotice{Dead: dead, Zones: cloneZones(r.zones)}
+	for a := range r.neighbors {
+		r.env.Send(a, notice)
+	}
+	r.fireLocChange()
+}
+
+func (r *Router) pruneNeighbors() {
+	for a, ni := range r.neighbors {
+		if !AnyAdjacent(r.zones, ni.zones) {
+			delete(r.neighbors, a)
+		}
+	}
+}
+
+func (r *Router) neighborSummary() map[env.Addr][]Zone {
+	m := make(map[env.Addr][]Zone, len(r.neighbors))
+	for a, ni := range r.neighbors {
+		m[a] = ni.zones
+	}
+	return m
+}
+
+func (r *Router) broadcastUpdate() {
+	u := &neighborUpdate{Zones: cloneZones(r.zones)}
+	for a := range r.neighbors {
+		r.env.Send(a, u)
+	}
+}
+
+// startMaintenance begins periodic keepalives and failure detection if
+// the configuration enables them.
+func (r *Router) startMaintenance() {
+	if !r.cfg.Maintenance || r.stopMaint != nil {
+		return
+	}
+	r.stopMaint = env.Every(r.env, r.cfg.KeepaliveInterval, func() {
+		r.sendKeepalives()
+		r.detectFailures()
+	})
+}
+
+func (r *Router) sendKeepalives() {
+	if len(r.neighbors) == 0 {
+		return
+	}
+	summary := r.neighborSummary()
+	u := &neighborUpdate{Zones: cloneZones(r.zones), Nbrs: summary}
+	for a := range r.neighbors {
+		r.env.Send(a, u)
+	}
+}
+
+// detectFailures declares neighbors silent for FailTimeout dead and runs
+// CAN's takeover: among the dead node's neighbors, the one with the
+// smallest total zone volume (ties by address) adopts the dead zones.
+// Every neighbor evaluates the same rule on the dead node's last
+// advertised neighbor table, so the claimant is chosen without a
+// coordination round.
+func (r *Router) detectFailures() {
+	now := r.env.Now()
+	var deads []env.Addr
+	for a, ni := range r.neighbors {
+		if now.Sub(ni.lastHeard) > r.cfg.FailTimeout {
+			deads = append(deads, a)
+		}
+	}
+	for _, dead := range deads {
+		deadInfo, ok := r.neighbors[dead]
+		if !ok {
+			continue
+		}
+		delete(r.neighbors, dead)
+
+		// Pick the claimant from the dead node's *advertised* neighbor
+		// table only: every surviving neighbor received (approximately)
+		// the same table in the dead node's last keepalive, so they all
+		// compute the same claimant. Using locally-known volumes instead
+		// would let two nodes each believe they are smallest.
+		self := r.env.Addr()
+		claimant := env.NilAddr
+		claimVol := math.Inf(1)
+		for ca, czs := range deadInfo.nbrs {
+			if ca == dead {
+				continue
+			}
+			// Skip candidates we ourselves believe have failed.
+			if cni, known := r.neighbors[ca]; known && now.Sub(cni.lastHeard) > r.cfg.FailTimeout {
+				continue
+			}
+			v := TotalVolume(czs)
+			if v < claimVol || (v == claimVol && ca < claimant) || claimant == env.NilAddr {
+				claimant, claimVol = ca, v
+			}
+		}
+		if claimant == env.NilAddr {
+			// No advertised table (the node died before its first
+			// keepalive carried one). Fall back to claiming ourselves;
+			// duplicate claims are reconciled via takeoverNotice.
+			claimant = self
+		}
+		if claimant == self {
+			nbrs := deadInfo.nbrs
+			if nbrs == nil {
+				nbrs = map[env.Addr][]Zone{}
+			}
+			if r.adopted == nil {
+				r.adopted = make(map[env.Addr][]Zone)
+			}
+			r.adopted[dead] = cloneZones(deadInfo.zones)
+			r.adoptZones(dead, deadInfo.zones, nbrs)
+		}
+	}
+}
+
+func cloneZones(zs []Zone) []Zone {
+	out := make([]Zone, len(zs))
+	for i, z := range zs {
+		out[i] = z.Clone()
+	}
+	return out
+}
+
+var _ dht.Router = (*Router)(nil)

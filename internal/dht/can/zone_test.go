@@ -1,0 +1,182 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootZoneCoversEverything(t *testing.T) {
+	z := RootZone(4)
+	if !z.Contains([]uint32{0, 0, 0, 0}) || !z.Contains([]uint32{^uint32(0), 1, 2, 3}) {
+		t.Fatal("root zone must contain all points")
+	}
+	if z.Volume() != 1.0 {
+		t.Fatalf("root volume = %v, want 1", z.Volume())
+	}
+}
+
+func TestSplitPartitionsZone(t *testing.T) {
+	z := RootZone(2)
+	lo, hi := z.Split()
+	if lo.Volume()+hi.Volume() != 1.0 {
+		t.Fatalf("split volumes %v + %v != 1", lo.Volume(), hi.Volume())
+	}
+	if lo.Depth != 1 || hi.Depth != 1 {
+		t.Fatalf("depths %d,%d want 1,1", lo.Depth, hi.Depth)
+	}
+	if !Adjacent(lo, hi) {
+		t.Fatal("split halves must be adjacent")
+	}
+	// Halves split along dim 0; second-level splits use dim 1.
+	lo2a, lo2b := lo.Split()
+	if lo2a.Hi[1] == lo.Hi[1] && lo2b.Lo[1] == lo.Lo[1] {
+		t.Fatal("second split should halve dimension 1")
+	}
+}
+
+// splitRandomly performs n random splits starting from the root and
+// returns the leaf zones, mimicking n+1 protocol joins.
+func splitRandomly(dims, n int, rng *rand.Rand) []Zone {
+	zones := []Zone{RootZone(dims)}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(len(zones))
+		if !zones[j].Splittable() {
+			continue
+		}
+		lo, hi := zones[j].Split()
+		zones[j] = lo
+		zones = append(zones, hi)
+	}
+	return zones
+}
+
+func TestZonesTileSpaceProperty(t *testing.T) {
+	// Property: after any split sequence, every point belongs to exactly
+	// one zone, and total volume is 1.
+	check := func(seed int64, nSplits uint8, dims8 uint8) bool {
+		dims := 2 + int(dims8%3) // 2..4
+		rng := rand.New(rand.NewSource(seed))
+		zones := splitRandomly(dims, int(nSplits%60)+1, rng)
+		vol := 0.0
+		for _, z := range zones {
+			vol += z.Volume()
+		}
+		if vol < 0.999999 || vol > 1.000001 {
+			return false
+		}
+		for trial := 0; trial < 50; trial++ {
+			p := make([]uint32, dims)
+			for i := range p {
+				p[i] = rng.Uint32()
+			}
+			owners := 0
+			for _, z := range zones {
+				if z.Contains(p) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencySymmetricProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		zones := splitRandomly(3, 30, rng)
+		for i := range zones {
+			for j := range zones {
+				if Adjacent(zones[i], zones[j]) != Adjacent(zones[j], zones[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneNotAdjacentToItselfAfterSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	zones := splitRandomly(2, 40, rng)
+	for _, z := range zones {
+		if Adjacent(z, z) {
+			t.Fatalf("zone %v adjacent to itself", z)
+		}
+	}
+}
+
+func TestTorusWraparoundAdjacency(t *testing.T) {
+	// Two opposite edge slabs of a 2-d space abut across the 0/Span seam.
+	root := RootZone(2)
+	left, right := root.Split() // split dim 0 at Span/2
+	ll, _ := left.Split()       // dim 1
+	// Further split left half along dim 0 again.
+	lll, _ := ll.Split()
+	_ = lll
+	if !Adjacent(left, right) {
+		t.Fatal("halves sharing an internal face must be adjacent")
+	}
+	// left spans [0, Span/2), right spans [Span/2, Span): they also abut
+	// across the torus seam, but that is still one shared face per
+	// dimension pair — Adjacent must be true, not double counted.
+	a := Zone{Lo: []uint64{0, 0}, Hi: []uint64{Span / 4, Span}, Depth: 2}
+	b := Zone{Lo: []uint64{3 * Span / 4, 0}, Hi: []uint64{Span, Span}, Depth: 2}
+	if !Adjacent(a, b) {
+		t.Fatal("zones abutting across the torus seam must be adjacent")
+	}
+}
+
+func TestDistanceSqZeroInsideAndPositiveOutside(t *testing.T) {
+	z := Zone{Lo: []uint64{0, 0}, Hi: []uint64{Span / 2, Span / 2}, Depth: 2}
+	if d := z.DistanceSq([]uint32{1, 1}); d != 0 {
+		t.Fatalf("inside distance = %v", d)
+	}
+	if d := z.DistanceSq([]uint32{uint32(Span/2) + 10, 0}); d == 0 {
+		t.Fatal("outside distance must be positive")
+	}
+	// Torus: a point just "left" of 0 is close to the zone via wraparound.
+	d := z.DistanceSq([]uint32{^uint32(0) - 5, 1})
+	if d > 100 {
+		t.Fatalf("wraparound distance = %v, want small", d)
+	}
+}
+
+func TestDistanceMonotoneTowardZone(t *testing.T) {
+	z := Zone{Lo: []uint64{Span / 2, 0}, Hi: []uint64{3 * Span / 4, Span}, Depth: 2}
+	far := z.DistanceSq([]uint32{0, 5})
+	near := z.DistanceSq([]uint32{uint32(Span / 4), 5})
+	if near >= far {
+		t.Fatalf("distance did not decrease approaching the zone: near=%v far=%v", near, far)
+	}
+}
+
+func TestVolumeHalvesWithDepthProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		zones := splitRandomly(4, 50, rng)
+		for _, z := range zones {
+			want := 1.0
+			for i := 0; i < z.Depth; i++ {
+				want /= 2
+			}
+			got := z.Volume()
+			if got < want*0.999999 || got > want*1.000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

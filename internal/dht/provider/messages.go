@@ -1,0 +1,72 @@
+package provider
+
+import (
+	"encoding/gob"
+
+	"pier/internal/dht/storage"
+	"pier/internal/env"
+)
+
+// putMsg carries one item directly to the owner found by a lookup.
+type putMsg struct {
+	Item *storage.Item
+}
+
+func (m *putMsg) WireSize() int { return env.HeaderSize + m.Item.WireSize() }
+
+// getMsg asks the owner for all items under (NS, RID).
+type getMsg struct {
+	NS, RID   string
+	Nonce     uint64
+	Origin    env.Addr
+	Forwarded bool
+}
+
+func (m *getMsg) WireSize() int {
+	return env.HeaderSize + env.StringSize(m.NS) + env.StringSize(m.RID) + 8 + env.AddrSize + 1
+}
+
+// getReply answers a getMsg directly to the origin.
+type getReply struct {
+	Nonce uint64
+	Items []*storage.Item
+}
+
+func (m *getReply) WireSize() int {
+	n := env.HeaderSize + 8
+	for _, it := range m.Items {
+		n += it.WireSize()
+	}
+	return n
+}
+
+// transferMsg hands items to their new owner after a location-map
+// change.
+type transferMsg struct {
+	Items []*storage.Item
+}
+
+func (m *transferMsg) WireSize() int {
+	n := env.HeaderSize
+	for _, it := range m.Items {
+		n += it.WireSize()
+	}
+	return n
+}
+
+// nsPayload tags a multicast payload with its namespace.
+type nsPayload struct {
+	NS      string
+	Payload env.Message
+}
+
+func (m *nsPayload) WireSize() int { return env.StringSize(m.NS) + m.Payload.WireSize() }
+
+func init() {
+	gob.Register(&putMsg{})
+	gob.Register(&getMsg{})
+	gob.Register(&getReply{})
+	gob.Register(&transferMsg{})
+	gob.Register(&nsPayload{})
+	gob.Register(&storage.Item{})
+}

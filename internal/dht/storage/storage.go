@@ -1,0 +1,244 @@
+// Package storage implements the paper's storage manager (§3.2.2,
+// Table 2): temporary, main-memory storage for DHT-based data while the
+// node is connected. Every item carries a lifetime; soft state means an
+// item not renewed within its lifetime is deleted (§3.2.3).
+package storage
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"pier/internal/dht"
+	"pier/internal/env"
+)
+
+// Item is one stored object, named by the paper's
+// (namespace, resourceID, instanceID) scheme (§3.2.3). The namespace
+// identifies the relation, the resourceID usually carries the primary
+// key or join attribute value, and the instanceID separates items that
+// share both.
+type Item struct {
+	Namespace  string
+	ResourceID string
+	InstanceID int64
+	Payload    env.Message
+	Expires    time.Time
+}
+
+// Key returns the DHT key the item is stored under.
+func (it *Item) Key() dht.Key { return dht.KeyOf(it.Namespace, it.ResourceID) }
+
+// WireSize implements env.Message so items can ride in put/get/transfer
+// messages.
+func (it *Item) WireSize() int {
+	n := env.StringSize(it.Namespace) + env.StringSize(it.ResourceID) + 16
+	if it.Payload != nil {
+		n += it.Payload.WireSize()
+	}
+	return n
+}
+
+// Manager is the per-node storage manager. It is not safe for concurrent
+// use; PIER nodes are single-threaded event processors.
+type Manager struct {
+	now    func() time.Time
+	spaces map[string]map[string]map[int64]*Item
+	exp    expHeap
+	count  int
+}
+
+// New creates a storage manager that reads the clock through now.
+func New(now func() time.Time) *Manager {
+	return &Manager{now: now, spaces: make(map[string]map[string]map[int64]*Item)}
+}
+
+// Store inserts the item, replacing any existing item with the same
+// (namespace, resourceID, instanceID) — which is exactly what a renew
+// does (§3.2.3).
+func (m *Manager) Store(it *Item) {
+	ns, ok := m.spaces[it.Namespace]
+	if !ok {
+		// Namespaces are created implicitly when the first item is put.
+		ns = make(map[string]map[int64]*Item)
+		m.spaces[it.Namespace] = ns
+	}
+	rid, ok := ns[it.ResourceID]
+	if !ok {
+		rid = make(map[int64]*Item)
+		ns[it.ResourceID] = rid
+	}
+	if _, existed := rid[it.InstanceID]; !existed {
+		m.count++
+	}
+	rid[it.InstanceID] = it
+	if !it.Expires.IsZero() {
+		heap.Push(&m.exp, expEntry{at: it.Expires, it: it})
+	}
+}
+
+// Retrieve returns the live items stored under (namespace, resourceID).
+// Like any index get, it is key-based and may return multiple items.
+func (m *Manager) Retrieve(namespace, resourceID string) []*Item {
+	ns := m.spaces[namespace]
+	if ns == nil {
+		return nil
+	}
+	rid := ns[resourceID]
+	if len(rid) == 0 {
+		return nil
+	}
+	now := m.now()
+	out := make([]*Item, 0, len(rid))
+	for _, it := range rid {
+		if it.expired(now) {
+			continue
+		}
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].InstanceID < out[j].InstanceID })
+	return out
+}
+
+// Remove deletes the item with the exact identity, reporting whether it
+// existed.
+func (m *Manager) Remove(namespace, resourceID string, instanceID int64) bool {
+	ns := m.spaces[namespace]
+	if ns == nil {
+		return false
+	}
+	rid := ns[resourceID]
+	if rid == nil {
+		return false
+	}
+	if _, ok := rid[instanceID]; !ok {
+		return false
+	}
+	delete(rid, instanceID)
+	m.count--
+	if len(rid) == 0 {
+		delete(ns, resourceID)
+	}
+	if len(ns) == 0 {
+		// Namespaces are destroyed when the last item goes (§3.2.3).
+		delete(m.spaces, namespace)
+	}
+	return true
+}
+
+// Scan iterates the live local items of a namespace — the provider's
+// lscan (§3.2.3). Iteration stops early if f returns false.
+func (m *Manager) Scan(namespace string, f func(*Item) bool) {
+	now := m.now()
+	for _, rid := range m.spaces[namespace] {
+		for _, it := range rid {
+			if it.expired(now) {
+				continue
+			}
+			if !f(it) {
+				return
+			}
+		}
+	}
+}
+
+// ScanAll iterates every live item across namespaces (used for handoff
+// after a location-map change).
+func (m *Manager) ScanAll(f func(*Item) bool) {
+	now := m.now()
+	for _, ns := range m.spaces {
+		for _, rid := range ns {
+			for _, it := range rid {
+				if it.expired(now) {
+					continue
+				}
+				if !f(it) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Namespaces lists the namespaces with at least one item.
+func (m *Manager) Namespaces() []string {
+	out := make([]string, 0, len(m.spaces))
+	for ns := range m.spaces {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of items (live or not yet swept) in a
+// namespace.
+func (m *Manager) Len(namespace string) int {
+	n := 0
+	for _, rid := range m.spaces[namespace] {
+		n += len(rid)
+	}
+	return n
+}
+
+// TotalLen returns the number of items across all namespaces.
+func (m *Manager) TotalLen() int { return m.count }
+
+// NextExpiry reports the earliest pending expiry time, if any.
+func (m *Manager) NextExpiry() (time.Time, bool) {
+	for len(m.exp) > 0 {
+		e := m.exp[0]
+		if m.current(e) {
+			return e.at, true
+		}
+		heap.Pop(&m.exp) // stale entry from a replace/renew/remove
+	}
+	return time.Time{}, false
+}
+
+// SweepExpired removes every item whose lifetime has passed and returns
+// them. Renewed items are skipped (their heap entries are stale).
+func (m *Manager) SweepExpired() []*Item {
+	now := m.now()
+	var out []*Item
+	for len(m.exp) > 0 {
+		e := m.exp[0]
+		if !m.current(e) {
+			heap.Pop(&m.exp)
+			continue
+		}
+		if e.at.After(now) {
+			break
+		}
+		heap.Pop(&m.exp)
+		m.Remove(e.it.Namespace, e.it.ResourceID, e.it.InstanceID)
+		out = append(out, e.it)
+	}
+	return out
+}
+
+// current reports whether the heap entry still describes the stored item.
+func (m *Manager) current(e expEntry) bool {
+	ns := m.spaces[e.it.Namespace]
+	if ns == nil {
+		return false
+	}
+	cur, ok := ns[e.it.ResourceID][e.it.InstanceID]
+	return ok && cur == e.it && cur.Expires.Equal(e.at)
+}
+
+func (it *Item) expired(now time.Time) bool {
+	return !it.Expires.IsZero() && !it.Expires.After(now)
+}
+
+type expEntry struct {
+	at time.Time
+	it *Item
+}
+
+type expHeap []expEntry
+
+func (h expHeap) Len() int           { return len(h) }
+func (h expHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h expHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expHeap) Push(x any)        { *h = append(*h, x.(expEntry)) }
+func (h *expHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }

@@ -1,0 +1,103 @@
+// Package env defines the runtime environment shared by simulated and real
+// PIER nodes. All node logic (DHT layers, query processor) is written
+// against Env, so the exact same code runs inside the discrete-event
+// simulator (internal/simnet) and over real TCP sockets (internal/realnet).
+// This mirrors the paper's claim that "the simulator and the implementation
+// use the same code base" (§5.2).
+//
+// Concurrency model: each node is a single-threaded event processor. The
+// transport guarantees that message handlers, timer callbacks, and Post-ed
+// functions for a given node never run concurrently, so node state needs no
+// locks.
+package env
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Addr identifies a node. In the simulator it is "sim:<index>"; over a real
+// network it is a dialable "host:port" string.
+type Addr string
+
+// NilAddr is the zero Addr, used where the paper's APIs accept NULL (e.g.
+// join(NULL) creates a new overlay network).
+const NilAddr Addr = ""
+
+// Message is anything that can be sent between nodes. WireSize reports the
+// number of bytes the message occupies on the wire; the simulator charges
+// this size against the receiver's inbound link (§5.2: congestion is
+// modeled at the last hop).
+type Message interface {
+	WireSize() int
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer. It is a no-op if the timer already fired.
+	Stop()
+}
+
+// Env is the per-node runtime environment.
+type Env interface {
+	// Addr returns this node's own address.
+	Addr() Addr
+
+	// Now returns the current time: virtual time in the simulator, wall
+	// clock time on a real network.
+	Now() time.Time
+
+	// After schedules f to run on this node's event loop after d. The
+	// returned Timer may be used to cancel it.
+	After(d time.Duration, f func()) Timer
+
+	// Post schedules f to run on this node's event loop as soon as
+	// possible. It is the only safe way for outside goroutines (e.g. an
+	// application thread in real deployment) to touch node state.
+	Post(f func())
+
+	// Send delivers m to the node at addr asynchronously. Sends are
+	// fire-and-forget: delivery is not acknowledged and messages to
+	// failed nodes are silently dropped (§5.6).
+	Send(to Addr, m Message)
+
+	// Rand returns this node's deterministic random source. It must only
+	// be used from the node's own event loop.
+	Rand() *rand.Rand
+}
+
+// Handler receives messages delivered to a node. A node registers exactly
+// one handler with its transport before any messages flow.
+type Handler interface {
+	HandleMessage(from Addr, m Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Addr, m Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from Addr, m Message) { f(from, m) }
+
+// Every schedules f to run repeatedly with period d, starting after d.
+// The returned stop function cancels future runs.
+func Every(e Env, d time.Duration, f func()) (stop func()) {
+	stopped := false
+	var t Timer
+	var run func()
+	run = func() {
+		if stopped {
+			return
+		}
+		f()
+		if !stopped {
+			t = e.After(d, run)
+		}
+	}
+	t = e.After(d, run)
+	return func() {
+		stopped = true
+		if t != nil {
+			t.Stop()
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package env
+
+// Wire-size helpers. The simulator does not serialize messages (it passes
+// pointers), so message types compute a representative on-the-wire size
+// instead. The constants approximate a compact binary encoding plus a
+// small per-message header, in the spirit of the paper's accounting of
+// "aggregate network traffic" (Figure 4).
+
+const (
+	// HeaderSize is charged once per message: source/destination
+	// addresses, message kind, and framing.
+	HeaderSize = 32
+
+	// AddrSize approximates an encoded node address (IPv4 + port + tag).
+	AddrSize = 8
+
+	// KeySize is the size of a DHT key on the wire (SHA-1).
+	KeySize = 20
+
+	// IntSize is the size of an encoded integer value.
+	IntSize = 8
+)
+
+// StringSize returns the encoded size of a string (length prefix + bytes).
+func StringSize(s string) int { return 4 + len(s) }

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/topology"
+)
+
+// CentralizedConfig drives the §5.3 argument: distributing a join over k
+// computation nodes divides each node's inbound load by roughly k; a
+// single "warehouse" node needs an expensively fat inbound pipe for the
+// same response time.
+type CentralizedConfig struct {
+	Nodes    int
+	STuples  int
+	Computes []int
+	Seed     int64
+}
+
+// DefaultCentralized returns the scaled default (paper: n=1024,
+// 0.5 GB database, selectivity 50% → T ≈ 0.25 GB to the computation
+// nodes).
+func DefaultCentralized(full bool) CentralizedConfig {
+	cfg := CentralizedConfig{Nodes: 128, STuples: 300, Computes: []int{1, 4, 16, 0}, Seed: 31}
+	if full {
+		cfg.Nodes, cfg.STuples = 1024, 3000
+	}
+	return cfg
+}
+
+// CentralizedVsDistributed measures the max inbound traffic and the time
+// to the last result as the number of computation nodes varies, plus the
+// paper's analytic per-node transfer T/k + T/n.
+func CentralizedVsDistributed(cfg CentralizedConfig) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Section 5.3: centralized vs distributed query processing (n=%d)", cfg.Nodes),
+		Note:    "analytic per-computation-node inbound ≈ T(1/k - 1/n); time grows as computation concentrates",
+		Headers: []string{"computation nodes", "max inbound (MB)", "analytic inbound (MB)", "time to last (s)", "traffic (MB)"},
+	}
+	for _, k := range cfg.Computes {
+		res := RunJoin(JoinConfig{
+			Nodes:        cfg.Nodes,
+			Topo:         topology.NewFullMesh(),
+			Seed:         cfg.Seed,
+			Strategy:     core.SymmetricHash,
+			STuples:      cfg.STuples,
+			ComputeNodes: k,
+			Limit:        12 * time.Hour,
+		})
+		// T = bytes that pass the selections on R and S (≈ half of each
+		// table at 50% selectivity, tuples ≈ 1 KB).
+		T := float64(cfg.STuples*11) * 0.5 * 1024 / 1e6
+		kk := k
+		if kk == 0 {
+			kk = cfg.Nodes
+		}
+		analytic := T * (1/float64(kk) - 1/float64(cfg.Nodes))
+		if analytic < 0 {
+			analytic = 0
+		}
+		label := fmt.Sprint(k)
+		if k == 0 {
+			label = fmt.Sprintf("N=%d", cfg.Nodes)
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.1f", res.MaxInMB),
+			fmt.Sprintf("%.1f", analytic),
+			secs(res.TimeToLast),
+			fmt.Sprintf("%.1f", res.TrafficMB),
+		})
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pier"
+	"pier/internal/core"
+	"pier/internal/env"
+	"pier/internal/topology"
+	"pier/internal/workload"
+)
+
+// RecallConfig drives Figure 6: node failures lose the soft state stored
+// at them; periodic refresh (renew) restores it; average recall is
+// measured as a function of the failure rate for several refresh
+// periods.
+type RecallConfig struct {
+	Nodes          int
+	STuples        int
+	RefreshPeriods []time.Duration
+	// FailureRates are in failures/minute, at the configured Nodes. The
+	// paper plots 0..250 failures/min at 4096 nodes; rates here should
+	// be read as a fraction of the network failing per minute.
+	FailureRates []float64
+	Warmup       time.Duration
+	Queries      int
+	QueryEvery   time.Duration
+	Seed         int64
+}
+
+// DefaultRecall returns the scaled default (paper: n=4096, 15 s failure
+// detection).
+func DefaultRecall(full bool) RecallConfig {
+	cfg := RecallConfig{
+		Nodes:          96,
+		STuples:        150,
+		RefreshPeriods: []time.Duration{30 * time.Second, 60 * time.Second, 150 * time.Second},
+		FailureRates:   []float64{0, 3, 6},
+		Warmup:         30 * time.Second,
+		Queries:        4,
+		QueryEvery:     45 * time.Second,
+		Seed:           5,
+	}
+	if full {
+		cfg.Nodes = 4096
+		cfg.STuples = 2000
+		cfg.RefreshPeriods = []time.Duration{30 * time.Second, 60 * time.Second, 150 * time.Second, 225 * time.Second}
+		cfg.FailureRates = []float64{0, 60, 120, 240}
+	}
+	return cfg
+}
+
+// Recall runs the churn matrix and reports average recall percentages.
+func Recall(cfg RecallConfig) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 6: average recall (%%) vs failure rate, n=%d, 15s failure detection", cfg.Nodes),
+		Note:  "rows: failures/min; columns: tuple refresh period (expected: recall falls with failure rate, rises with faster refresh)",
+	}
+	t.Headers = []string{"failures/min"}
+	for _, rp := range cfg.RefreshPeriods {
+		t.Headers = append(t.Headers, fmt.Sprintf("%ds refresh", int(rp.Seconds())))
+	}
+	for _, rate := range cfg.FailureRates {
+		row := []string{fmt.Sprintf("%.0f", rate)}
+		for _, rp := range cfg.RefreshPeriods {
+			rec := recallRun(cfg, rp, rate)
+			row = append(row, fmt.Sprintf("%.1f", rec*100))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func recallRun(cfg RecallConfig, refresh time.Duration, failPerMin float64) float64 {
+	opts := pier.DefaultOptions()
+	opts.CANConfig.Maintenance = true
+	opts.ProviderConfig.ActiveExpiry = true
+	// Under churn, query dissemination must survive not-yet-detected
+	// failures: full flooding's redundancy stands in for the reliable
+	// multicast the paper assumes. Lookup timeouts and put retries are
+	// tuned to the 15 s failure-detection window.
+	opts.ProviderConfig.RobustMulticast = true
+	opts.ProviderConfig.PutRetries = 3
+	opts.ProviderConfig.PutRetryDelay = 3 * time.Second
+	opts.CANConfig.LookupTimeout = 8 * time.Second
+	sn := pier.NewSimNetwork(cfg.Nodes, topology.NewFullMesh(), cfg.Seed, opts)
+
+	tables := workload.Generate(workload.Config{STuples: cfg.STuples, Seed: cfg.Seed + 3, PadBytes: 64})
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	expected := tables.ReferenceJoin(c1, c2, c3)
+	if len(expected) == 0 {
+		return 1
+	}
+
+	// The publisher node stands in for the paper's data wrappers: it
+	// loads every tuple and renews each one on the refresh period (with
+	// per-tuple phase), restoring items lost to storage-node failures.
+	// It is never killed (wrappers outlive DHT nodes, §3.2.3).
+	const publisher = 0
+	lifetime := 2 * refresh
+	type pub struct {
+		ns, rid string
+		iid     int64
+		t       *core.Tuple
+	}
+	var pubs []pub
+	for i, r := range tables.R {
+		pubs = append(pubs, pub{"R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r})
+	}
+	for i, s := range tables.S {
+		pubs = append(pubs, pub{"S", core.ValueString(s.Vals[workload.SPkey]), int64(i + len(tables.R)), s})
+	}
+	for _, p := range pubs {
+		sn.Load(p.ns, p.rid, p.iid, p.t, lifetime)
+	}
+	pubEnv := sn.Net.Node(publisher)
+	pnode := sn.Nodes[publisher]
+	for i, p := range pubs {
+		p := p
+		phase := time.Duration(float64(refresh) * float64(i) / float64(len(pubs)))
+		pubEnv.After(phase, func() {
+			pnode.Renew(p.ns, p.rid, p.iid, p.t, lifetime)
+			env.Every(pubEnv, refresh, func() {
+				pnode.Renew(p.ns, p.rid, p.iid, p.t, lifetime)
+			})
+		})
+	}
+
+	// Failure process: kill a random live non-publisher node at the
+	// configured rate; a replacement joins through the publisher so the
+	// population stays constant (§5.6 fails nodes at a constant rate).
+	if failPerMin > 0 {
+		interval := time.Duration(float64(time.Minute) / failPerMin)
+		rng := pubEnv.Rand()
+		var killOne func()
+		killOne = func() {
+			for tries := 0; tries < 32; tries++ {
+				victim := 1 + rng.Intn(sn.Net.Len()-1)
+				if sn.Alive(victim) {
+					sn.Kill(victim)
+					break
+				}
+			}
+			sn.AddNode(publisher)
+			pubEnv.After(interval, killOne)
+		}
+		pubEnv.After(interval, killOne)
+	}
+
+	sn.RunFor(cfg.Warmup)
+
+	// Measurement: run the workload query periodically; recall is the
+	// fraction of reference results received.
+	totalRecall := 0.0
+	for q := 0; q < cfg.Queries; q++ {
+		plan := workload.JoinPlan(core.SymmetricHash, c1, c2, c3)
+		plan.TTL = cfg.QueryEvery
+		got := make(map[[2]int64]bool)
+		id, err := pnode.Query(plan, func(t *core.Tuple, _ int) {
+			got[[2]int64{t.Vals[0].(int64), t.Vals[1].(int64)}] = true
+		})
+		if err != nil {
+			panic(err)
+		}
+		sn.RunFor(cfg.QueryEvery)
+		pnode.Cancel(id)
+		totalRecall += float64(len(got)) / float64(len(expected))
+	}
+	return totalRecall / float64(cfg.Queries)
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/topology"
+)
+
+// ScalabilityConfig drives Figures 3 and 7: grow the network and the
+// load together and measure the time to the 30th result tuple.
+type ScalabilityConfig struct {
+	// Sizes are the network sizes to sweep (paper: 2 .. 10,000).
+	Sizes []int
+	// ComputeSeries are the computation-node counts; 0 means "N
+	// computation nodes" (paper series: 1, 2, 8, 16, N).
+	ComputeSeries []int
+	// SPerNode scales the load with the network: |S| = SPerNode × n,
+	// |R| = 10 × |S| (the paper loads ~0.5 MB of source data per node).
+	SPerNode int
+	// TransitStub switches to the Figure-7 topology.
+	TransitStub bool
+	Seed        int64
+}
+
+// DefaultScalability is the scaled-down default configuration.
+func DefaultScalability(full bool) ScalabilityConfig {
+	cfg := ScalabilityConfig{
+		Sizes:         []int{2, 8, 32, 128, 512},
+		ComputeSeries: []int{1, 2, 8, 16, 0},
+		SPerNode:      2,
+		Seed:          1,
+	}
+	if full {
+		cfg.Sizes = append(cfg.Sizes, 1024, 2048, 4096, 10000)
+		cfg.SPerNode = 4
+	}
+	return cfg
+}
+
+// Scalability runs the sweep and returns the figure's series as a table:
+// one row per network size, one column per computation-node series.
+func Scalability(cfg ScalabilityConfig) *Table {
+	title := "Figure 3: time to 30th result tuple vs network size (fully connected, 100ms, 10Mbps)"
+	if cfg.TransitStub {
+		title = "Figure 7: time to 30th result tuple vs network size (transit-stub topology)"
+	}
+	t := &Table{
+		Title: title,
+		Note:  fmt.Sprintf("load scales with network size: |S| = %d per node, |R| = 10x|S|", cfg.SPerNode),
+	}
+	t.Headers = []string{"nodes"}
+	for _, k := range cfg.ComputeSeries {
+		if k == 0 {
+			t.Headers = append(t.Headers, "N comp (s)")
+		} else {
+			t.Headers = append(t.Headers, fmt.Sprintf("%d comp (s)", k))
+		}
+	}
+	for _, n := range cfg.Sizes {
+		row := []string{fmt.Sprint(n)}
+		for _, k := range cfg.ComputeSeries {
+			if k > n {
+				row = append(row, "-")
+				continue
+			}
+			var topo topology.Topology
+			if cfg.TransitStub {
+				topo = topology.NewTransitStub(cfg.Seed)
+			} else {
+				topo = topology.NewFullMesh()
+			}
+			res := RunJoin(JoinConfig{
+				Nodes:        n,
+				Topo:         topo,
+				Seed:         cfg.Seed + int64(n)*13 + int64(k),
+				Strategy:     core.SymmetricHash,
+				STuples:      cfg.SPerNode * n,
+				ComputeNodes: k,
+				Limit:        4 * time.Hour,
+			})
+			row = append(row, secs(res.TimeToKth))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

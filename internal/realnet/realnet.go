@@ -1,0 +1,261 @@
+// Package realnet runs PIER nodes over real TCP sockets with
+// gob-encoded frames. It implements the same env.Env contract as the
+// simulator, so the node stack is byte-for-byte the code the simulator
+// executes — the paper's deployment story (§5.2: "The simulator and the
+// implementation use the same code base", §5.8).
+//
+// Each node owns one listener, one event-loop goroutine that serializes
+// all node logic, and one writer goroutine per peer connection. Sends
+// are fire-and-forget: connection errors and full outbound queues drop
+// messages, exactly the behavior the soft-state design tolerates.
+package realnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"pier/internal/env"
+)
+
+// frame is the on-wire unit: the sender's address and one message.
+type frame struct {
+	From env.Addr
+	Msg  env.Message
+}
+
+// Node implements env.Env over TCP.
+type Node struct {
+	addr    env.Addr
+	ln      net.Listener
+	inbox   chan func()
+	handler env.Handler
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	mu       sync.Mutex
+	peers    map[env.Addr]*peer
+	accepted map[net.Conn]bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+type peer struct {
+	out  chan *frame
+	conn net.Conn
+}
+
+// Listen starts a node listening on addr (e.g. "127.0.0.1:0"). The
+// returned node's event loop runs until Close.
+func Listen(addr string, seed int64) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		addr:     env.Addr(ln.Addr().String()),
+		ln:       ln,
+		inbox:    make(chan func(), 4096),
+		rng:      rand.New(rand.NewSource(seed)),
+		peers:    make(map[env.Addr]*peer),
+		accepted: make(map[net.Conn]bool),
+		done:     make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.loop()
+	go n.accept()
+	return n, nil
+}
+
+// SetHandler registers the message handler; call before traffic flows.
+func (n *Node) SetHandler(h env.Handler) { n.handler = h }
+
+// Addr implements env.Env.
+func (n *Node) Addr() env.Addr { return n.addr }
+
+// Now implements env.Env.
+func (n *Node) Now() time.Time { return time.Now() }
+
+// Rand implements env.Env. Unlike the simulator, callbacks can race with
+// the application goroutine, so access is serialized.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// After implements env.Env: the callback is posted to the node's event
+// loop.
+func (n *Node) After(d time.Duration, f func()) env.Timer {
+	t := time.AfterFunc(d, func() { n.Post(f) })
+	return realTimer{t}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() { t.t.Stop() }
+
+// Post implements env.Env.
+func (n *Node) Post(f func()) {
+	select {
+	case n.inbox <- f:
+	case <-n.done:
+	}
+}
+
+// Do runs f on the node's event loop and waits for it — the safe way for
+// application goroutines to touch node state.
+func (n *Node) Do(f func()) {
+	ch := make(chan struct{})
+	n.Post(func() {
+		defer close(ch)
+		f()
+	})
+	select {
+	case <-ch:
+	case <-n.done:
+	}
+}
+
+// Send implements env.Env: fire-and-forget delivery over a lazily
+// dialed, cached TCP connection.
+func (n *Node) Send(to env.Addr, m env.Message) {
+	if to == n.addr {
+		// Loopback without a socket, like the simulator's 0-latency self
+		// path.
+		n.Post(func() {
+			if n.handler != nil {
+				n.handler.HandleMessage(n.addr, m)
+			}
+		})
+		return
+	}
+	p, err := n.peer(to)
+	if err != nil {
+		return
+	}
+	select {
+	case p.out <- &frame{From: n.addr, Msg: m}:
+	default:
+		// Queue full: drop, as a congested datagram network would.
+	}
+}
+
+func (n *Node) peer(to env.Addr) (*peer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.peers[to]; ok {
+		return p, nil
+	}
+	select {
+	case <-n.done:
+		return nil, errors.New("realnet: node closed")
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", string(to), 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	p := &peer{out: make(chan *frame, 1024), conn: conn}
+	n.peers[to] = p
+	n.wg.Add(1)
+	go n.writer(to, p)
+	return p, nil
+}
+
+func (n *Node) writer(to env.Addr, p *peer) {
+	defer n.wg.Done()
+	enc := gob.NewEncoder(p.conn)
+	for {
+		select {
+		case f := <-p.out:
+			if err := enc.Encode(f); err != nil {
+				p.conn.Close()
+				n.mu.Lock()
+				if n.peers[to] == p {
+					delete(n.peers, to)
+				}
+				n.mu.Unlock()
+				return
+			}
+		case <-n.done:
+			p.conn.Close()
+			return
+		}
+	}
+}
+
+func (n *Node) accept() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		n.accepted[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.reader(conn)
+	}
+}
+
+func (n *Node) reader(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		n.Post(func() {
+			if n.handler != nil {
+				n.handler.HandleMessage(f.From, f.Msg)
+			}
+		})
+	}
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case f := <-n.inbox:
+			f()
+		case <-n.done:
+			// Drain whatever is already queued, then exit.
+			for {
+				select {
+				case f := <-n.inbox:
+					f()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close shuts the node down: listener, connections, event loop.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.ln.Close()
+		n.mu.Lock()
+		for _, p := range n.peers {
+			p.conn.Close()
+		}
+		for c := range n.accepted {
+			c.Close()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}

@@ -1,0 +1,79 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"pier/internal/env"
+	"pier/internal/topology"
+)
+
+func TestRunWhileStopsOnPredicate(t *testing.T) {
+	nw := New(topology.NewFullMeshInfinite(), 1)
+	a := nw.AddNode()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		a.After(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	nw.RunWhile(nw.Now().Add(time.Hour), func() bool { return fired < 3 })
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3 (predicate checked per event)", fired)
+	}
+	if nw.Pending() == 0 {
+		t.Fatal("remaining events must stay queued")
+	}
+}
+
+func TestDrainProcessesEverything(t *testing.T) {
+	nw := New(topology.NewFullMeshInfinite(), 1)
+	a := nw.AddNode()
+	fired := 0
+	a.After(time.Hour, func() { fired++ })
+	a.After(24*time.Hour, func() { fired++ })
+	n := nw.Drain()
+	if fired != 2 || n != 2 {
+		t.Fatalf("drain fired %d events (returned %d)", fired, n)
+	}
+	if nw.Now().Sub(Epoch) != 24*time.Hour {
+		t.Fatalf("clock at %v, want +24h", nw.Now().Sub(Epoch))
+	}
+}
+
+func TestKillMidFlightDropsDelivery(t *testing.T) {
+	nw := New(topology.NewFullMesh(), 1)
+	a, b := nw.AddNode(), nw.AddNode()
+	got := 0
+	b.SetHandler(env.HandlerFunc(func(env.Addr, env.Message) { got++ }))
+	a.Send(b.Addr(), testMsg{size: 100})
+	// The message is in flight (latency 100ms); kill the receiver now.
+	nw.Kill(b.Index())
+	nw.Drain()
+	if got != 0 {
+		t.Fatal("in-flight message delivered to a node that died first")
+	}
+	if s := nw.Stats(); s.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestSendToBogusAddressIgnored(t *testing.T) {
+	nw := New(topology.NewFullMeshInfinite(), 1)
+	a := nw.AddNode()
+	a.Send("sim:999", testMsg{size: 1}) // out of range
+	a.Send("tcp:nope", testMsg{size: 1})
+	a.Send("", testMsg{size: 1})
+	if nw.Drain() != 0 {
+		t.Fatal("bogus sends must not enqueue events")
+	}
+}
+
+func TestRunReturnsEventCount(t *testing.T) {
+	nw := New(topology.NewFullMeshInfinite(), 1)
+	a := nw.AddNode()
+	for i := 0; i < 5; i++ {
+		a.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	if n := nw.RunFor(3 * time.Second); n != 3 {
+		t.Fatalf("RunFor processed %d events, want 3", n)
+	}
+}

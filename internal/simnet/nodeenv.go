@@ -1,0 +1,101 @@
+package simnet
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"pier/internal/env"
+)
+
+// NodeEnv implements env.Env for one simulated node.
+type NodeEnv struct {
+	nw      *Network
+	index   int
+	addr    env.Addr
+	alive   bool
+	handler env.Handler
+	rng     *rand.Rand
+
+	// linkFreeAt is when this node's inbound link finishes serializing
+	// the last queued message.
+	linkFreeAt time.Time
+}
+
+// SetHandler registers the node's message handler. It must be called
+// before any messages are delivered.
+func (n *NodeEnv) SetHandler(h env.Handler) { n.handler = h }
+
+// Index returns the node's simulator index.
+func (n *NodeEnv) Index() int { return n.index }
+
+// Addr implements env.Env.
+func (n *NodeEnv) Addr() env.Addr { return n.addr }
+
+// Now implements env.Env.
+func (n *NodeEnv) Now() time.Time { return n.nw.now }
+
+// Rand implements env.Env.
+func (n *NodeEnv) Rand() *rand.Rand { return n.rng }
+
+// After implements env.Env.
+func (n *NodeEnv) After(d time.Duration, f func()) env.Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := n.nw.schedule(n.nw.now.Add(d), n.index, f, "", nil, 0)
+	return (*simTimer)(ev)
+}
+
+// Post implements env.Env.
+func (n *NodeEnv) Post(f func()) {
+	n.nw.schedule(n.nw.now, n.index, f, "", nil, 0)
+}
+
+// Send implements env.Env. Delivery time is
+//
+//	send + latency(src,dst), then FIFO-queued behind the receiver's
+//	inbound link which drains at the topology's inbound bandwidth.
+//
+// Messages from or to failed nodes are discarded.
+func (n *NodeEnv) Send(to env.Addr, m env.Message) {
+	if !n.alive {
+		return
+	}
+	dst, ok := n.nw.lookupAddr(to)
+	if !ok {
+		return
+	}
+	size := m.WireSize()
+	arrive := n.nw.now.Add(n.nw.topo.Latency(n.index, dst.index))
+	deliver := arrive
+	if bw := n.nw.topo.InboundBandwidth(dst.index); bw > 0 {
+		start := arrive
+		if dst.linkFreeAt.After(start) {
+			start = dst.linkFreeAt
+		}
+		deliver = start.Add(time.Duration(float64(size*8) / bw * float64(time.Second)))
+		dst.linkFreeAt = deliver
+	}
+	n.nw.schedule(deliver, dst.index, nil, n.addr, m, size)
+}
+
+// lookupAddr resolves a "sim:<i>" address to the node.
+func (nw *Network) lookupAddr(a env.Addr) (*NodeEnv, bool) {
+	s := string(a)
+	if !strings.HasPrefix(s, "sim:") {
+		return nil, false
+	}
+	i, err := strconv.Atoi(s[4:])
+	if err != nil || i < 0 || i >= len(nw.nodes) {
+		return nil, false
+	}
+	return nw.nodes[i], true
+}
+
+// simTimer adapts an event to env.Timer.
+type simTimer event
+
+// Stop implements env.Timer.
+func (t *simTimer) Stop() { t.canceled = true }

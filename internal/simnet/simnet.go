@@ -1,0 +1,253 @@
+// Package simnet is a discrete-event network simulator. It implements
+// env.Env for thousands of in-process PIER nodes with a shared virtual
+// clock, pairwise propagation latency from a topology model, and FIFO
+// serialization of each message at the receiver's inbound access link —
+// exactly the simplifications the paper's simulator makes (§5.2: the
+// simulator "ignor[es] the cross-traffic in the network and the CPU and
+// memory utilizations"; congestion occurs at the last hop).
+//
+// All node logic runs on the caller's goroutine inside Step/Run, so a
+// seeded simulation is fully deterministic.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pier/internal/env"
+	"pier/internal/topology"
+)
+
+// Epoch is the virtual time at which every simulation starts.
+var Epoch = time.Unix(0, 0).UTC()
+
+// Network is a simulated network of nodes.
+type Network struct {
+	topo  topology.Topology
+	seed  int64
+	now   time.Time
+	seq   uint64
+	queue eventHeap
+	nodes []*NodeEnv
+
+	stats Stats
+}
+
+// Stats aggregates traffic over the lifetime of the network (or since the
+// last ResetStats). Bytes are counted once per delivered message, at the
+// receiver — multi-hop overlay routes therefore count each hop, matching
+// the paper's "aggregate network traffic" metric (Figure 4).
+type Stats struct {
+	Messages       int64
+	Bytes          int64
+	Dropped        int64 // messages addressed to failed nodes
+	InboundByNode  []int64
+	MaxInboundNode int
+}
+
+// MaxInbound returns the largest per-node inbound byte count, the paper's
+// "maximum inbound traffic at a node" metric (§5).
+func (s *Stats) MaxInbound() int64 {
+	var max int64
+	for _, b := range s.InboundByNode {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// New creates an empty simulated network over the given topology. The
+// seed drives every random choice made by nodes on this network.
+func New(topo topology.Topology, seed int64) *Network {
+	return &Network{topo: topo, seed: seed, now: Epoch}
+}
+
+// Now returns the current virtual time.
+func (nw *Network) Now() time.Time { return nw.now }
+
+// Len returns the number of nodes ever added (including failed ones).
+func (nw *Network) Len() int { return len(nw.nodes) }
+
+// AddNode creates a new node environment. The node starts alive with no
+// handler; the caller builds the node stack against the returned env and
+// then calls SetHandler.
+func (nw *Network) AddNode() *NodeEnv {
+	idx := len(nw.nodes)
+	n := &NodeEnv{
+		nw:    nw,
+		index: idx,
+		addr:  env.Addr(fmt.Sprintf("sim:%d", idx)),
+		alive: true,
+		rng:   rand.New(rand.NewSource(nw.seed ^ (0x5851f42d4c957f2d * int64(idx+1)))),
+	}
+	nw.nodes = append(nw.nodes, n)
+	nw.stats.InboundByNode = append(nw.stats.InboundByNode, 0)
+	return n
+}
+
+// Node returns the environment of node i.
+func (nw *Network) Node(i int) *NodeEnv { return nw.nodes[i] }
+
+// Kill marks node i failed: its pending timers never fire, messages to it
+// are dropped silently (§5.6), and its sends are discarded.
+func (nw *Network) Kill(i int) { nw.nodes[i].alive = false }
+
+// Alive reports whether node i is up.
+func (nw *Network) Alive(i int) bool { return nw.nodes[i].alive }
+
+// Stats returns a snapshot of the traffic counters.
+func (nw *Network) Stats() Stats {
+	s := nw.stats
+	s.InboundByNode = append([]int64(nil), nw.stats.InboundByNode...)
+	return s
+}
+
+// ResetStats zeroes the traffic counters (node liveness is untouched).
+func (nw *Network) ResetStats() {
+	for i := range nw.stats.InboundByNode {
+		nw.stats.InboundByNode[i] = 0
+	}
+	nw.stats.Messages, nw.stats.Bytes, nw.stats.Dropped = 0, 0, 0
+}
+
+// Step processes the next event. It returns false when the queue is
+// empty.
+func (nw *Network) Step() bool {
+	for len(nw.queue) > 0 {
+		ev := heap.Pop(&nw.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at.Before(nw.now) {
+			panic("simnet: time went backwards")
+		}
+		nw.now = ev.at
+		nw.dispatch(ev)
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or virtual time would
+// exceed the deadline, then advances the virtual clock to the deadline
+// (idle time passes too). It returns the number of events processed.
+func (nw *Network) Run(deadline time.Time) int {
+	n := 0
+	for len(nw.queue) > 0 {
+		if nw.queue[0].at.After(deadline) {
+			break
+		}
+		if nw.Step() {
+			n++
+		}
+	}
+	if nw.now.Before(deadline) {
+		nw.now = deadline
+	}
+	return n
+}
+
+// RunFor runs for d of virtual time from now.
+func (nw *Network) RunFor(d time.Duration) int { return nw.Run(nw.now.Add(d)) }
+
+// RunWhile processes events until the queue empties, the deadline passes,
+// or cont() returns false (checked after every event). Unlike Run it
+// leaves the clock at the last processed event when stopped early.
+func (nw *Network) RunWhile(deadline time.Time, cont func() bool) int {
+	n := 0
+	for len(nw.queue) > 0 && cont() {
+		if nw.queue[0].at.After(deadline) {
+			break
+		}
+		if nw.Step() {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain runs until the event queue is completely empty. Periodic node
+// activities (keepalives, renewals) must be stopped first or Drain will
+// not terminate; experiments normally use Run with a deadline instead.
+func (nw *Network) Drain() int {
+	n := 0
+	for nw.Step() {
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events (including canceled
+// placeholders).
+func (nw *Network) Pending() int { return len(nw.queue) }
+
+func (nw *Network) dispatch(ev *event) {
+	node := nw.nodes[ev.node]
+	if !node.alive {
+		if ev.msg != nil {
+			nw.stats.Dropped++
+		}
+		return
+	}
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	nw.stats.Messages++
+	nw.stats.Bytes += int64(ev.size)
+	nw.stats.InboundByNode[ev.node] += int64(ev.size)
+	if node.handler != nil {
+		node.handler.HandleMessage(ev.from, ev.msg)
+	}
+}
+
+func (nw *Network) schedule(at time.Time, node int, fn func(), from env.Addr, msg env.Message, size int) *event {
+	ev := &event{at: at, seq: nw.seq, node: node, fn: fn, from: from, msg: msg, size: size}
+	nw.seq++
+	heap.Push(&nw.queue, ev)
+	return ev
+}
+
+// event is either a callback (fn != nil) or a message delivery.
+type event struct {
+	at       time.Time
+	seq      uint64
+	node     int
+	fn       func()
+	from     env.Addr
+	msg      env.Message
+	size     int
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

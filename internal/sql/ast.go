@@ -1,0 +1,85 @@
+package sql
+
+// AST node types for the supported SELECT subset.
+
+// Node is any expression node.
+type Node interface{ nodeString() string }
+
+// NumLit is an integer or float literal.
+type NumLit struct {
+	Int     int64
+	Float   float64
+	IsFloat bool
+	Neg     bool
+}
+
+func (n *NumLit) nodeString() string { return "num" }
+
+// StrLit is a string literal.
+type StrLit struct{ S string }
+
+func (n *StrLit) nodeString() string { return "str" }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ B bool }
+
+func (n *BoolLit) nodeString() string { return "bool" }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+func (n *NullLit) nodeString() string { return "null" }
+
+// ColRef is a possibly-qualified column reference (table.col or col).
+type ColRef struct{ Table, Col string }
+
+func (n *ColRef) nodeString() string { return "col" }
+
+// BinOp is a binary operator: comparison (= != < <= > >=), arithmetic
+// (+ - * / %), or logical (AND OR).
+type BinOp struct {
+	Op   string
+	L, R Node
+}
+
+func (n *BinOp) nodeString() string { return "binop" }
+
+// UnOp is NOT or unary minus.
+type UnOp struct {
+	Op string
+	E  Node
+}
+
+func (n *UnOp) nodeString() string { return "unop" }
+
+// FuncCall is f(args) or an aggregate; Star marks count(*).
+type FuncCall struct {
+	Name string
+	Args []Node
+	Star bool
+}
+
+func (n *FuncCall) nodeString() string { return "call" }
+
+// SelectItem is one projection in the SELECT list.
+type SelectItem struct {
+	Star  bool
+	E     Node
+	Alias string
+}
+
+// TableItem is one FROM entry.
+type TableItem struct {
+	Name  string
+	Alias string
+}
+
+// Stmt is a parsed single-block SELECT.
+type Stmt struct {
+	Select   []SelectItem
+	From     []TableItem
+	Where    Node
+	GroupBy  []*ColRef
+	Having   Node
+	Strategy string // optional USING STRATEGY '<name>' extension
+}

@@ -1,0 +1,379 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: "+format, args...)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.i++
+		return t.text, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.peek().text)
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &Stmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = append(st.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ti := TableItem{Name: name, Alias: name}
+		if p.acceptKeyword("AS") {
+			if ti.Alias, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		} else if p.peek().kind == tokIdent {
+			ti.Alias = p.next().text
+		}
+		st.From = append(st.From, ti)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if len(st.From) > 2 {
+		return nil, p.errf("at most two tables are supported (the paper's joins are binary)")
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			cr, ok := e.(*ColRef)
+			if !ok {
+				return nil, p.errf("GROUP BY supports column references only")
+			}
+			st.GroupBy = append(st.GroupBy, cr)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = e
+	}
+	if p.acceptKeyword("USING") {
+		if err := p.expectKeyword("STRATEGY"); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != tokString && t.kind != tokIdent {
+			return nil, p.errf("USING STRATEGY expects a strategy name")
+		}
+		st.Strategy = strings.ToLower(t.text)
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.acceptKeyword("AS") {
+		if item.Alias, err = p.expectIdent(); err != nil {
+			return SelectItem{}, err
+		}
+	}
+	return item, nil
+}
+
+// Expression grammar: OR > AND > NOT > comparison > additive >
+// multiplicative > unary > primary.
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "NOT", E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]bool{"=": true, "!=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokSymbol && cmpOps[t.text] {
+		p.i++
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		op := t.text
+		if op == "<>" {
+			op = "!="
+		}
+		return &BinOp{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.i++
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.i++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(*NumLit); ok {
+			n.Neg = !n.Neg
+			return n, nil
+		}
+		return &UnOp{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &NumLit{Float: f, IsFloat: true}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &NumLit{Int: n}, nil
+	case tokString:
+		p.i++
+		return &StrLit{S: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.i++
+			return &BoolLit{B: true}, nil
+		case "FALSE":
+			p.i++
+			return &BoolLit{B: false}, nil
+		case "NULL":
+			p.i++
+			return &NullLit{}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case tokSymbol:
+		if t.text == "(" {
+			p.i++
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptSymbol(")") {
+				return nil, p.errf("missing closing parenthesis")
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected symbol %q in expression", t.text)
+	case tokIdent:
+		p.i++
+		name := t.text
+		// Function call?
+		if p.acceptSymbol("(") {
+			fc := &FuncCall{Name: strings.ToLower(name)}
+			if p.acceptSymbol("*") {
+				fc.Star = true
+				if !p.acceptSymbol(")") {
+					return nil, p.errf("expected ) after *")
+				}
+				return fc, nil
+			}
+			if p.acceptSymbol(")") {
+				return fc, nil
+			}
+			for {
+				arg, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = append(fc.Args, arg)
+				if p.acceptSymbol(")") {
+					return fc, nil
+				}
+				if !p.acceptSymbol(",") {
+					return nil, p.errf("expected , or ) in argument list")
+				}
+			}
+		}
+		// Qualified column reference?
+		if p.acceptSymbol(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Col: col}, nil
+		}
+		return &ColRef{Col: name}, nil
+	default:
+		return nil, p.errf("unexpected end of input")
+	}
+}

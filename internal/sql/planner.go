@@ -1,0 +1,618 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"pier/internal/core"
+)
+
+// Table describes a relation to the planner: its column names and the
+// primary-key column (which PIER uses as the base resourceID, §3.2.3).
+type Table struct {
+	Name string
+	Cols []string
+	Key  string
+}
+
+// Catalog maps table names to schemas. The paper envisions these as the
+// de-facto standard schemas of widely deployed software (§2.2d); here
+// the application registers them.
+type Catalog map[string]Table
+
+// Col returns the index of a column, or -1.
+func (t Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Plan parses src and lowers it to an executable core.Plan.
+func Plan(src string, cat Catalog) (*core.Plan, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ToPlan(st, cat)
+}
+
+// ToPlan lowers a parsed statement against the catalog.
+func ToPlan(st *Stmt, cat Catalog) (*core.Plan, error) {
+	pl := &planner{st: st, cat: cat}
+	return pl.lower()
+}
+
+type planner struct {
+	st  *Stmt
+	cat Catalog
+
+	tables  []Table  // resolved FROM tables
+	aliases []string // FROM aliases, same order
+	offsets []int    // column offset of each table in the concatenated row
+}
+
+func (p *planner) lower() (*core.Plan, error) {
+	if len(p.st.From) == 0 {
+		return nil, fmt.Errorf("sql: no FROM tables")
+	}
+	off := 0
+	for _, ti := range p.st.From {
+		tb, ok := p.cat[ti.Name]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", ti.Name)
+		}
+		p.tables = append(p.tables, tb)
+		p.aliases = append(p.aliases, ti.Alias)
+		p.offsets = append(p.offsets, off)
+		off += len(tb.Cols)
+	}
+
+	plan := &core.Plan{}
+	for i, tb := range p.tables {
+		tr := core.TableRef{NS: tb.Name, RIDCol: -1}
+		if k := tb.Col(tb.Key); k >= 0 {
+			tr.RIDCol = k
+		}
+		plan.Tables = append(plan.Tables, tr)
+		_ = i
+	}
+
+	// WHERE: split conjuncts into per-table filters, equi-join pairs,
+	// and cross-table residue (evaluated post-join, like the workload's
+	// f(R.num3, S.num3) predicate).
+	var post []core.Expr
+	for _, c := range conjuncts(p.st.Where) {
+		refs, err := p.tablesReferenced(c)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case len(p.tables) == 2 && refs == 3:
+			if l, r, ok := p.asJoinPair(c); ok {
+				plan.Tables[0].JoinCols = append(plan.Tables[0].JoinCols, l)
+				plan.Tables[1].JoinCols = append(plan.Tables[1].JoinCols, r)
+				continue
+			}
+			e, err := p.toExpr(c, p.concatResolver())
+			if err != nil {
+				return nil, err
+			}
+			post = append(post, e)
+		case refs == 2 && len(p.tables) == 2:
+			e, err := p.toExpr(c, p.localResolver(1))
+			if err != nil {
+				return nil, err
+			}
+			plan.Tables[1].Filter = andExpr(plan.Tables[1].Filter, e)
+		default: // refs == 1 or unqualified single-table
+			e, err := p.toExpr(c, p.localResolver(0))
+			if err != nil {
+				return nil, err
+			}
+			plan.Tables[0].Filter = andExpr(plan.Tables[0].Filter, e)
+		}
+	}
+	plan.PostFilter = andAll(post)
+
+	if err := p.lowerProjection(plan); err != nil {
+		return nil, err
+	}
+	if p.st.Strategy != "" {
+		s, err := strategyByName(p.st.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		plan.Strategy = s
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// lowerProjection handles the SELECT list, GROUP BY, and HAVING.
+func (p *planner) lowerProjection(plan *core.Plan) error {
+	aggs, err := p.collectAggregates()
+	if err != nil {
+		return err
+	}
+	if len(aggs) == 0 {
+		if p.st.Having != nil || len(p.st.GroupBy) > 0 {
+			return fmt.Errorf("sql: GROUP BY/HAVING require aggregates in SELECT")
+		}
+		if len(p.st.Select) == 1 && p.st.Select[0].Star {
+			return nil // SELECT *: emit rows unchanged
+		}
+		for _, item := range p.st.Select {
+			if item.Star {
+				return fmt.Errorf("sql: * cannot be mixed with expressions")
+			}
+			e, err := p.toExpr(item.E, p.concatResolver())
+			if err != nil {
+				return err
+			}
+			plan.Output = append(plan.Output, e)
+		}
+		return nil
+	}
+
+	// Aggregation query: resolve GROUP BY on the pre-aggregation row.
+	res := p.concatResolver()
+	for _, g := range p.st.GroupBy {
+		idx, err := res(g)
+		if err != nil {
+			return err
+		}
+		plan.GroupBy = append(plan.GroupBy, idx)
+	}
+	for _, a := range aggs {
+		plan.Aggs = append(plan.Aggs, a.spec)
+	}
+	// SELECT and HAVING see groupCols ++ aggResults; aliases defined in
+	// SELECT are visible in HAVING (the paper's "HAVING cnt > 10").
+	aliasDefs := map[string]Node{}
+	for _, item := range p.st.Select {
+		if item.Alias != "" {
+			aliasDefs[item.Alias] = item.E
+		}
+	}
+	for _, item := range p.st.Select {
+		if item.Star {
+			return fmt.Errorf("sql: * is not valid with aggregates")
+		}
+		e, err := p.toAggExpr(item.E, aggs, nil)
+		if err != nil {
+			return err
+		}
+		plan.Output = append(plan.Output, e)
+	}
+	if p.st.Having != nil {
+		e, err := p.toAggExpr(p.st.Having, aggs, aliasDefs)
+		if err != nil {
+			return err
+		}
+		plan.Having = e
+	}
+	return nil
+}
+
+type aggRef struct {
+	call *FuncCall
+	spec core.Aggregate
+}
+
+var aggKinds = map[string]core.AggKind{
+	"count": core.Count, "sum": core.Sum, "avg": core.Avg, "min": core.Min, "max": core.Max,
+}
+
+// collectAggregates finds aggregate calls in SELECT and HAVING,
+// deduplicated by (kind, column).
+func (p *planner) collectAggregates() ([]aggRef, error) {
+	var out []aggRef
+	var collect func(n Node) error
+	collect = func(n Node) error {
+		switch n := n.(type) {
+		case *FuncCall:
+			kind, isAgg := aggKinds[n.Name]
+			if !isAgg {
+				for _, a := range n.Args {
+					if err := collect(a); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			col := -1
+			if !n.Star {
+				if len(n.Args) != 1 {
+					return fmt.Errorf("sql: %s takes one column argument", n.Name)
+				}
+				cr, ok := n.Args[0].(*ColRef)
+				if !ok {
+					return fmt.Errorf("sql: %s argument must be a column", n.Name)
+				}
+				idx, err := p.concatResolver()(cr)
+				if err != nil {
+					return err
+				}
+				col = idx
+			} else if kind != core.Count {
+				return fmt.Errorf("sql: only count(*) may use *")
+			}
+			for _, a := range out {
+				if a.spec.Kind == kind && a.spec.Col == col {
+					return nil
+				}
+			}
+			out = append(out, aggRef{call: n, spec: core.Aggregate{Kind: kind, Col: col}})
+			return nil
+		case *BinOp:
+			if err := collect(n.L); err != nil {
+				return err
+			}
+			return collect(n.R)
+		case *UnOp:
+			return collect(n.E)
+		default:
+			return nil
+		}
+	}
+	for _, item := range p.st.Select {
+		if item.Star {
+			continue
+		}
+		if err := collect(item.E); err != nil {
+			return nil, err
+		}
+	}
+	if p.st.Having != nil {
+		if err := collect(p.st.Having); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// toAggExpr rewrites an expression over the aggregation output row:
+// group columns map to their position, aggregate calls to their slot,
+// and aliases expand to their definitions.
+func (p *planner) toAggExpr(n Node, aggs []aggRef, aliases map[string]Node) (core.Expr, error) {
+	switch n := n.(type) {
+	case *FuncCall:
+		if kind, isAgg := aggKinds[n.Name]; isAgg {
+			col := -1
+			if !n.Star {
+				cr, _ := n.Args[0].(*ColRef)
+				idx, err := p.concatResolver()(cr)
+				if err != nil {
+					return nil, err
+				}
+				col = idx
+			}
+			_ = kind
+			for j, a := range aggs {
+				argCol := a.spec.Col
+				if a.spec.Kind == aggKinds[n.Name] && argCol == col {
+					return &core.Col{Idx: len(p.st.GroupBy) + j}, nil
+				}
+			}
+			return nil, fmt.Errorf("sql: aggregate %s not collected", n.Name)
+		}
+		args := make([]core.Expr, len(n.Args))
+		for i, a := range n.Args {
+			e, err := p.toAggExpr(a, aggs, aliases)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		return &core.Call{Name: n.Name, Args: args}, nil
+	case *ColRef:
+		// Alias of a SELECT item?
+		if n.Table == "" && aliases != nil {
+			if def, ok := aliases[n.Col]; ok {
+				return p.toAggExpr(def, aggs, nil)
+			}
+		}
+		idx, err := p.concatResolver()(n)
+		if err != nil {
+			return nil, err
+		}
+		for k, g := range p.st.GroupBy {
+			gidx, gerr := p.concatResolver()(g)
+			if gerr == nil && gidx == idx {
+				return &core.Col{Idx: k}, nil
+			}
+		}
+		return nil, fmt.Errorf("sql: column %s is neither grouped nor aggregated", n.Col)
+	case *BinOp:
+		l, err := p.toAggExpr(n.L, aggs, aliases)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.toAggExpr(n.R, aggs, aliases)
+		if err != nil {
+			return nil, err
+		}
+		return binToCore(n.Op, l, r)
+	case *UnOp:
+		e, err := p.toAggExpr(n.E, aggs, aliases)
+		if err != nil {
+			return nil, err
+		}
+		return unToCore(n.Op, e)
+	default:
+		return p.toExpr(n, func(*ColRef) (int, error) {
+			return 0, fmt.Errorf("sql: unexpected column in aggregate context")
+		})
+	}
+}
+
+// conjuncts flattens a WHERE tree over AND.
+func conjuncts(n Node) []Node {
+	if n == nil {
+		return nil
+	}
+	if b, ok := n.(*BinOp); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []Node{n}
+}
+
+// tablesReferenced returns a bitmask of FROM tables referenced by n
+// (bit 0 = first table).
+func (p *planner) tablesReferenced(n Node) (int, error) {
+	switch n := n.(type) {
+	case *ColRef:
+		ti, _, err := p.resolveCol(n)
+		if err != nil {
+			return 0, err
+		}
+		return 1 << ti, nil
+	case *BinOp:
+		l, err := p.tablesReferenced(n.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := p.tablesReferenced(n.R)
+		if err != nil {
+			return 0, err
+		}
+		return l | r, nil
+	case *UnOp:
+		return p.tablesReferenced(n.E)
+	case *FuncCall:
+		mask := 0
+		for _, a := range n.Args {
+			m, err := p.tablesReferenced(a)
+			if err != nil {
+				return 0, err
+			}
+			mask |= m
+		}
+		return mask, nil
+	default:
+		return 0, nil
+	}
+}
+
+// asJoinPair recognizes t0.col = t1.col conjuncts.
+func (p *planner) asJoinPair(n Node) (left, right int, ok bool) {
+	b, isBin := n.(*BinOp)
+	if !isBin || b.Op != "=" {
+		return 0, 0, false
+	}
+	lc, lok := b.L.(*ColRef)
+	rc, rok := b.R.(*ColRef)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	lt, li, lerr := p.resolveCol(lc)
+	rt, ri, rerr := p.resolveCol(rc)
+	if lerr != nil || rerr != nil || lt == rt {
+		return 0, 0, false
+	}
+	if lt == 1 {
+		lt, li, ri = rt, ri, li
+	}
+	_ = lt
+	return li, ri, true
+}
+
+// resolveCol finds (table index, column index) for a reference.
+func (p *planner) resolveCol(c *ColRef) (int, int, error) {
+	if c.Table != "" {
+		for i, a := range p.aliases {
+			if a == c.Table || p.tables[i].Name == c.Table {
+				if k := p.tables[i].Col(c.Col); k >= 0 {
+					return i, k, nil
+				}
+				return 0, 0, fmt.Errorf("sql: table %s has no column %s", c.Table, c.Col)
+			}
+		}
+		return 0, 0, fmt.Errorf("sql: unknown table alias %q", c.Table)
+	}
+	found, ti, ci := 0, 0, 0
+	for i, tb := range p.tables {
+		if k := tb.Col(c.Col); k >= 0 {
+			found++
+			ti, ci = i, k
+		}
+	}
+	switch found {
+	case 1:
+		return ti, ci, nil
+	case 0:
+		return 0, 0, fmt.Errorf("sql: unknown column %q", c.Col)
+	default:
+		return 0, 0, fmt.Errorf("sql: ambiguous column %q", c.Col)
+	}
+}
+
+type colResolver func(*ColRef) (int, error)
+
+// localResolver resolves references as indices into one table's row.
+func (p *planner) localResolver(table int) colResolver {
+	return func(c *ColRef) (int, error) {
+		ti, ci, err := p.resolveCol(c)
+		if err != nil {
+			return 0, err
+		}
+		if ti != table {
+			return 0, fmt.Errorf("sql: column %s does not belong to table %s", c.Col, p.tables[table].Name)
+		}
+		return ci, nil
+	}
+}
+
+// concatResolver resolves references as indices into the concatenated
+// (joined) row.
+func (p *planner) concatResolver() colResolver {
+	return func(c *ColRef) (int, error) {
+		ti, ci, err := p.resolveCol(c)
+		if err != nil {
+			return 0, err
+		}
+		return p.offsets[ti] + ci, nil
+	}
+}
+
+// toExpr lowers an AST node to a core.Expr with the given column
+// resolver.
+func (p *planner) toExpr(n Node, res colResolver) (core.Expr, error) {
+	switch n := n.(type) {
+	case *NumLit:
+		if n.IsFloat {
+			v := n.Float
+			if n.Neg {
+				v = -v
+			}
+			return &core.Const{V: v}, nil
+		}
+		v := n.Int
+		if n.Neg {
+			v = -v
+		}
+		return &core.Const{V: v}, nil
+	case *StrLit:
+		return &core.Const{V: n.S}, nil
+	case *BoolLit:
+		return &core.Const{V: n.B}, nil
+	case *NullLit:
+		return &core.Const{V: nil}, nil
+	case *ColRef:
+		idx, err := res(n)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Col{Idx: idx}, nil
+	case *BinOp:
+		l, err := p.toExpr(n.L, res)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.toExpr(n.R, res)
+		if err != nil {
+			return nil, err
+		}
+		return binToCore(n.Op, l, r)
+	case *UnOp:
+		e, err := p.toExpr(n.E, res)
+		if err != nil {
+			return nil, err
+		}
+		return unToCore(n.Op, e)
+	case *FuncCall:
+		if _, isAgg := aggKinds[n.Name]; isAgg {
+			return nil, fmt.Errorf("sql: aggregate %s not allowed here", n.Name)
+		}
+		args := make([]core.Expr, len(n.Args))
+		for i, a := range n.Args {
+			e, err := p.toExpr(a, res)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		return &core.Call{Name: n.Name, Args: args}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression")
+	}
+}
+
+func binToCore(op string, l, r core.Expr) (core.Expr, error) {
+	switch op {
+	case "AND":
+		return &core.And{L: l, R: r}, nil
+	case "OR":
+		return &core.Or{L: l, R: r}, nil
+	case "=":
+		return &core.Cmp{Op: core.EQ, L: l, R: r}, nil
+	case "!=":
+		return &core.Cmp{Op: core.NE, L: l, R: r}, nil
+	case "<":
+		return &core.Cmp{Op: core.LT, L: l, R: r}, nil
+	case "<=":
+		return &core.Cmp{Op: core.LE, L: l, R: r}, nil
+	case ">":
+		return &core.Cmp{Op: core.GT, L: l, R: r}, nil
+	case ">=":
+		return &core.Cmp{Op: core.GE, L: l, R: r}, nil
+	case "+":
+		return &core.Arith{Op: core.Add, L: l, R: r}, nil
+	case "-":
+		return &core.Arith{Op: core.Sub, L: l, R: r}, nil
+	case "*":
+		return &core.Arith{Op: core.Mul, L: l, R: r}, nil
+	case "/":
+		return &core.Arith{Op: core.Div, L: l, R: r}, nil
+	case "%":
+		return &core.Arith{Op: core.Mod, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported operator %q", op)
+	}
+}
+
+func unToCore(op string, e core.Expr) (core.Expr, error) {
+	switch op {
+	case "NOT":
+		return &core.Not{E: e}, nil
+	case "-":
+		return &core.Arith{Op: core.Sub, L: &core.Const{V: int64(0)}, R: e}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported unary operator %q", op)
+	}
+}
+
+func andExpr(a, b core.Expr) core.Expr {
+	if a == nil {
+		return b
+	}
+	return &core.And{L: a, R: b}
+}
+
+func andAll(es []core.Expr) core.Expr {
+	var out core.Expr
+	for _, e := range es {
+		out = andExpr(out, e)
+	}
+	return out
+}
+
+func strategyByName(name string) (core.Strategy, error) {
+	switch strings.ReplaceAll(strings.ReplaceAll(name, " ", ""), "-", "") {
+	case "symmetrichash", "symhash":
+		return core.SymmetricHash, nil
+	case "fetchmatches", "fetch":
+		return core.FetchMatches, nil
+	case "symmetricsemijoin", "semijoin":
+		return core.SymmetricSemiJoin, nil
+	case "bloom", "bloomfilter", "bloomjoin":
+		return core.BloomJoin, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown join strategy %q", name)
+	}
+}

@@ -1,0 +1,298 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"pier/internal/core"
+)
+
+var testCat = Catalog{
+	"R":            {Name: "R", Cols: []string{"pkey", "num1", "num2", "num3"}, Key: "pkey"},
+	"S":            {Name: "S", Cols: []string{"pkey", "num2", "num3"}, Key: "pkey"},
+	"intrusions":   {Name: "intrusions", Cols: []string{"fingerprint", "address"}, Key: "fingerprint"},
+	"reputation":   {Name: "reputation", Cols: []string{"address", "weight"}, Key: "address"},
+	"spamGateways": {Name: "spamGateways", Cols: []string{"source", "smtpGWDomain"}, Key: "source"},
+	"robots":       {Name: "robots", Cols: []string{"clientDomain"}, Key: "clientDomain"},
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex("SELECT a.b, 'it''s', 3.5 >= x -- comment\nFROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ".", "b", ",", "it's", ",", "3.5", ">=", "x", "FROM", "t", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	_ = kinds
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("SELECT 'oops"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("SELECT @"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParseWorkloadQuery(t *testing.T) {
+	st, err := Parse(`
+		SELECT R.pkey, S.pkey
+		FROM R, S
+		WHERE R.num1 = S.pkey AND R.num2 > 49 AND S.num2 > 49
+		  AND f(R.num3, S.num3) > 49`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.From) != 2 || len(st.Select) != 2 {
+		t.Fatalf("parsed %d tables, %d select items", len(st.From), len(st.Select))
+	}
+	if len(conjuncts(st.Where)) != 4 {
+		t.Fatalf("conjuncts = %d, want 4", len(conjuncts(st.Where)))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT x FROM a, b, c",
+		"SELECT x FROM t WHERE",
+		"SELECT x FROM t GROUP x",
+		"SELECT x FROM t WHERE (a = 1",
+		"SELECT f(x FROM t",
+		"SELECT x FROM t extra garbage",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPlanWorkloadQuery(t *testing.T) {
+	p, err := Plan(`
+		SELECT R.pkey, S.pkey
+		FROM R, S
+		WHERE R.num1 = S.pkey AND R.num2 > 49 AND S.num2 > 49
+		  AND f(R.num3, S.num3) > 49
+		USING STRATEGY 'symmetric semi-join'`, testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tables) != 2 {
+		t.Fatal("not a join plan")
+	}
+	if got := p.Tables[0].JoinCols; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("R join cols = %v, want [1] (num1)", got)
+	}
+	if got := p.Tables[1].JoinCols; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("S join cols = %v, want [0] (pkey)", got)
+	}
+	if p.Tables[0].Filter == nil || p.Tables[1].Filter == nil {
+		t.Fatal("per-table filters not pushed down")
+	}
+	if p.PostFilter == nil {
+		t.Fatal("cross-table f() predicate must remain post-join")
+	}
+	if p.Strategy != core.SymmetricSemiJoin {
+		t.Fatalf("strategy = %v", p.Strategy)
+	}
+	if p.Tables[0].RIDCol != 0 || p.Tables[1].RIDCol != 0 {
+		t.Fatalf("RID cols = %d,%d, want 0,0", p.Tables[0].RIDCol, p.Tables[1].RIDCol)
+	}
+	// Filters evaluate against local rows.
+	rRow := []core.Value{int64(1), int64(2), int64(60), int64(3)}
+	if !core.Truthy(p.Tables[0].Filter.Eval(rRow)) {
+		t.Fatal("R filter rejected num2=60")
+	}
+	rRow[2] = int64(10)
+	if core.Truthy(p.Tables[0].Filter.Eval(rRow)) {
+		t.Fatal("R filter accepted num2=10")
+	}
+}
+
+func TestPlanAggregateWithHavingAlias(t *testing.T) {
+	// §2.1: SELECT I.fingerprint, count(*) AS cnt FROM intrusions I
+	//       GROUP BY I.fingerprint HAVING cnt > 10
+	p, err := Plan(`
+		SELECT I.fingerprint, count(*) AS cnt
+		FROM intrusions AS I
+		GROUP BY I.fingerprint
+		HAVING cnt > 10`, testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.GroupBy) != 1 || p.GroupBy[0] != 0 {
+		t.Fatalf("GroupBy = %v", p.GroupBy)
+	}
+	if len(p.Aggs) != 1 || p.Aggs[0].Kind != core.Count || p.Aggs[0].Col != -1 {
+		t.Fatalf("Aggs = %v", p.Aggs)
+	}
+	// Having row = [fingerprint, count]: passes for count=11.
+	if !core.Truthy(p.Having.Eval([]core.Value{"fp", int64(11)})) {
+		t.Fatal("HAVING rejected cnt=11")
+	}
+	if core.Truthy(p.Having.Eval([]core.Value{"fp", int64(10)})) {
+		t.Fatal("HAVING accepted cnt=10")
+	}
+}
+
+func TestPlanWeightedReputationQuery(t *testing.T) {
+	// §2.1's third query: join + group by + computed output.
+	p, err := Plan(`
+		SELECT I.fingerprint, count(*) * sum(R.weight) AS wcnt
+		FROM intrusions AS I, reputation AS R
+		WHERE R.address = I.address
+		GROUP BY I.fingerprint
+		HAVING wcnt > 10`, testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tables) != 2 || len(p.Aggs) != 2 {
+		t.Fatalf("tables=%d aggs=%v", len(p.Tables), p.Aggs)
+	}
+	// Output row over [fp, count, sum]: wcnt = count*sum.
+	out := p.Output[1].Eval([]core.Value{"fp", int64(4), int64(7)})
+	if out != int64(28) {
+		t.Fatalf("wcnt = %v, want 28", out)
+	}
+}
+
+func TestPlanSimpleJoinDomains(t *testing.T) {
+	// §2.1's first query.
+	p, err := Plan(`
+		SELECT S.source
+		FROM spamGateways AS S, robots AS R
+		WHERE S.smtpGWDomain = R.clientDomain`, testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tables[0].JoinCols) != 1 {
+		t.Fatal("join column not recognized")
+	}
+	if len(p.Output) != 1 {
+		t.Fatalf("output = %v", p.Output)
+	}
+}
+
+func TestPlanSelectStar(t *testing.T) {
+	p, err := Plan("SELECT * FROM intrusions WHERE fingerprint = 'x'", testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Output != nil {
+		t.Fatal("SELECT * should emit rows unchanged")
+	}
+	if p.Tables[0].Filter == nil {
+		t.Fatal("filter lost")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	bad := []string{
+		"SELECT x FROM nosuch",
+		"SELECT nosuchcol FROM intrusions",
+		"SELECT address FROM intrusions, reputation",               // ambiguous
+		"SELECT fingerprint FROM intrusions GROUP BY address",      // non-grouped output... needs agg first
+		"SELECT count(*) FROM intrusions HAVING fingerprint = 'x'", // ungrouped col in HAVING
+		"SELECT sum(1+2) FROM intrusions",                          // agg of non-column
+		"SELECT fingerprint FROM intrusions USING STRATEGY 'nope'",
+		"SELECT sum(*) FROM intrusions",
+	}
+	for _, src := range bad {
+		if _, err := Plan(src, testCat); err == nil {
+			t.Errorf("Plan(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPlanUnqualifiedColumnsResolveUniquely(t *testing.T) {
+	p, err := Plan("SELECT fingerprint FROM intrusions WHERE address = '1.2.3.4'", testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tables[0].Filter == nil || len(p.Output) != 1 {
+		t.Fatal("unqualified resolution failed")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	cases := map[string]core.Strategy{
+		"symmetric hash": core.SymmetricHash,
+		"fetch matches":  core.FetchMatches,
+		"semi-join":      core.SymmetricSemiJoin,
+		"bloom":          core.BloomJoin,
+	}
+	for name, want := range cases {
+		got, err := strategyByName(name)
+		if err != nil || got != want {
+			t.Errorf("strategyByName(%q) = %v, %v", name, got, err)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st, err := Parse("SELECT a FROM intrusions WHERE 1 + 2 * 3 = 7 AND NOT 1 > 2 OR fingerprint = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := st.Where.(*BinOp)
+	if !ok || top.Op != "OR" {
+		t.Fatalf("top-level operator should be OR, got %T", st.Where)
+	}
+	left, ok := top.L.(*BinOp)
+	if !ok || left.Op != "AND" {
+		t.Fatalf("left of OR should be AND, got %v", top.L)
+	}
+	eq, ok := left.L.(*BinOp)
+	if !ok || eq.Op != "=" {
+		t.Fatalf("arith comparison lost: %v", left.L)
+	}
+	add, ok := eq.L.(*BinOp)
+	if !ok || add.Op != "+" {
+		t.Fatalf("+ should bind looser than *: %v", eq.L)
+	}
+	if mul, ok := add.R.(*BinOp); !ok || mul.Op != "*" {
+		t.Fatalf("* should bind tighter: %v", add.R)
+	}
+}
+
+func TestColHelper(t *testing.T) {
+	tb := testCat["R"]
+	if tb.Col("num2") != 2 || tb.Col("nope") != -1 {
+		t.Fatal("Table.Col broken")
+	}
+}
+
+func TestPlanStringsAndNegativeNumbers(t *testing.T) {
+	p, err := Plan("SELECT fingerprint FROM intrusions WHERE address != 'x' AND 0 > -5", testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Truthy(p.Tables[0].Filter.Eval([]core.Value{"fp", "y"})) {
+		t.Fatal("filter should pass address=y")
+	}
+}
+
+func TestUnsupportedMultiwayJoinRejected(t *testing.T) {
+	_, err := Parse("SELECT a FROM x, y, z")
+	if err == nil || !strings.Contains(err.Error(), "two tables") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pier/internal/core"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	tb := Generate(Config{STuples: 100, Seed: 1})
+	if len(tb.S) != 100 {
+		t.Fatalf("|S| = %d", len(tb.S))
+	}
+	if len(tb.R) != 1000 {
+		t.Fatalf("|R| = %d, want 10x|S| (§5.1)", len(tb.R))
+	}
+	for i, s := range tb.S {
+		if s.Vals[SPkey].(int64) != int64(i) {
+			t.Fatalf("S pkey not dense at %d", i)
+		}
+		if len(s.Vals) != 3 || s.Pad != 0 {
+			t.Fatalf("S tuple malformed: %v pad=%d", s, s.Pad)
+		}
+	}
+	for _, r := range tb.R {
+		if len(r.Vals) != 4 {
+			t.Fatalf("R tuple malformed: %v", r)
+		}
+		if r.Pad == 0 {
+			t.Fatal("R must carry the pad (result tuples ~1KB)")
+		}
+	}
+}
+
+func TestMatchFractionNearNinetyPercent(t *testing.T) {
+	tb := Generate(Config{STuples: 500, Seed: 7})
+	matches := 0
+	for _, r := range tb.R {
+		if r.Vals[RNum1].(int64) < int64(len(tb.S)) {
+			matches++
+		}
+	}
+	frac := float64(matches) / float64(len(tb.R))
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("match fraction %.3f, want ~0.9 (§5.1)", frac)
+	}
+}
+
+func TestConstantsSelectivity(t *testing.T) {
+	// Predicate num2 > c over uniform [0,100) must select ~sel.
+	for _, sel := range []float64{0.1, 0.5, 0.9, 1.0} {
+		c, _, _ := Constants(sel, sel, sel)
+		pass := 0
+		for v := int64(0); v < NumRange; v++ {
+			if v > c {
+				pass++
+			}
+		}
+		got := float64(pass) / NumRange
+		if got < sel-0.011 || got > sel+0.011 {
+			t.Errorf("sel=%.2f: constant %d passes %.3f", sel, c, got)
+		}
+	}
+	// Degenerate: selectivity 0 passes nothing.
+	c, _, _ := Constants(0, 0, 0)
+	if c < NumRange-1 {
+		t.Errorf("sel=0 constant %d lets values through", c)
+	}
+}
+
+func TestReferenceJoinMatchesBruteForceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		tb := Generate(Config{STuples: 30, Seed: seed})
+		c1, c2, c3 := Constants(0.5, 0.5, 0.5)
+		want := map[[2]int64]int{}
+		for _, r := range tb.R {
+			for _, s := range tb.S {
+				if r.Vals[RNum1].(int64) != s.Vals[SPkey].(int64) {
+					continue
+				}
+				if r.Vals[RNum2].(int64) <= c1 || s.Vals[SNum2].(int64) <= c2 {
+					continue
+				}
+				if F(r.Vals[RNum3].(int64), s.Vals[SNum3].(int64)) <= c3 {
+					continue
+				}
+				want[[2]int64{r.Vals[RPkey].(int64), s.Vals[SPkey].(int64)}]++
+			}
+		}
+		got := tb.ReferenceJoin(c1, c2, c3)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, p := range got {
+			if want[p] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinPlanStructure(t *testing.T) {
+	p := JoinPlan(core.BloomJoin, 49, 49, 49)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != core.BloomJoin {
+		t.Fatal("strategy lost")
+	}
+	// PostFilter references both sides via f().
+	row := []core.Value{int64(1), int64(2), int64(60), int64(30), int64(2), int64(60), int64(30)}
+	v := p.PostFilter.Eval(row) // f(30,30)=60 > 49
+	if v != true {
+		t.Fatalf("postfilter = %v", v)
+	}
+	row[3] = int64(10) // f(10,30)=40 <= 49
+	if p.PostFilter.Eval(row) != false {
+		t.Fatal("postfilter should reject")
+	}
+}
+
+func TestFIsRegistered(t *testing.T) {
+	c := &core.Call{Name: "f", Args: []core.Expr{&core.Const{V: int64(60)}, &core.Const{V: int64(50)}}}
+	if got := c.Eval(nil); got != int64(10) {
+		t.Fatalf("f(60,50) = %v, want 10", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{STuples: 50, Seed: 42})
+	b := Generate(Config{STuples: 50, Seed: 42})
+	for i := range a.R {
+		for j := range a.R[i].Vals {
+			if a.R[i].Vals[j] != b.R[i].Vals[j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package pier
+
+import "pier/internal/opt"
+
+// Cost-based strategy selection (§7 "Catalogs and Query Optimization"):
+// classic distributed-database cost models with DHT-aware terms.
+type (
+	// TableStats summarizes a relation for the optimizer.
+	TableStats = opt.TableStats
+	// NetStats summarizes the deployment for the optimizer.
+	NetStats = opt.NetStats
+	// JoinStats couples two inputs with their match rate.
+	JoinStats = opt.JoinStats
+	// Estimate is a predicted per-strategy cost.
+	Estimate = opt.Estimate
+	// Objective selects what ChooseStrategy minimizes.
+	Objective = opt.Objective
+)
+
+// Optimizer objectives.
+const (
+	// MinTraffic minimizes bytes moved.
+	MinTraffic = opt.MinTraffic
+	// MinLatency minimizes the propagation-delay estimate.
+	MinLatency = opt.MinLatency
+)
+
+// ChooseStrategy picks a join strategy from catalog statistics and
+// deployment parameters, returning the ranked estimates. Apply the
+// result to Plan.Strategy (or let SQL's USING STRATEGY override it).
+func ChooseStrategy(j JoinStats, net NetStats, obj Objective) (Strategy, []Estimate) {
+	return opt.Choose(j, net, obj)
+}

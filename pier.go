@@ -1,0 +1,186 @@
+// Package pier is the public API of this reproduction of "Querying the
+// Internet with PIER" (Huebsch, Hellerstein, Lanham, Loo, Shenker,
+// Stoica — VLDB 2003): a massively distributed relational query engine
+// layered on a DHT.
+//
+// A PIER deployment is a set of Nodes. Each node stacks, bottom-up
+// (Figure 1 of the paper):
+//
+//   - a routing layer (CAN by default, Chord as the validation
+//     alternative),
+//   - a storage manager holding soft state,
+//   - a provider exposing get/put/renew/multicast/lscan/newData,
+//   - the relational query processor executing boxes-and-arrows plans.
+//
+// Nodes run either inside the discrete-event simulator (NewSimNetwork)
+// or over real TCP sockets (StartNode) — from the same code base, as in
+// the paper (§5.2).
+package pier
+
+import (
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/dht"
+	"pier/internal/dht/can"
+	"pier/internal/dht/chord"
+	"pier/internal/dht/provider"
+	"pier/internal/env"
+)
+
+// Re-exported query-construction types. Plans are built either directly
+// or with ParseSQL.
+type (
+	// Tuple is a relational row.
+	Tuple = core.Tuple
+	// Value is a column value (int64, float64, string, bool, nil).
+	Value = core.Value
+	// Plan is a serializable query plan.
+	Plan = core.Plan
+	// TableRef names one input relation of a plan.
+	TableRef = core.TableRef
+	// Aggregate is one aggregate function application.
+	Aggregate = core.Aggregate
+	// Expr is a scalar expression.
+	Expr = core.Expr
+	// ResultFunc receives result tuples at the initiator.
+	ResultFunc = core.ResultFunc
+	// Strategy selects the distributed join algorithm.
+	Strategy = core.Strategy
+)
+
+// Join strategies (§4).
+const (
+	SymmetricHash     = core.SymmetricHash
+	FetchMatches      = core.FetchMatches
+	SymmetricSemiJoin = core.SymmetricSemiJoin
+	BloomJoin         = core.BloomJoin
+)
+
+// Aggregate kinds.
+const (
+	Count = core.Count
+	Sum   = core.Sum
+	Avg   = core.Avg
+	Min   = core.Min
+	Max   = core.Max
+)
+
+// RegisterFunc installs a scalar function usable in plans (e.g. the
+// workload's f(R.num3, S.num3)). Register the same functions on every
+// node of a deployment.
+func RegisterFunc(name string, fn func(args []Value) Value) { core.RegisterFunc(name, fn) }
+
+// DHTKind selects the overlay implementation.
+type DHTKind int
+
+// Available DHTs.
+const (
+	// CAN is the paper's primary DHT (§3.1.1).
+	CAN DHTKind = iota
+	// Chord is the validation alternative (§3.2).
+	Chord
+)
+
+// Options configures the per-node stack.
+type Options struct {
+	// DHT picks the routing layer; default CAN.
+	DHT DHTKind
+	// CANConfig configures CAN routers.
+	CANConfig can.Config
+	// ChordConfig configures Chord routers.
+	ChordConfig chord.Config
+	// ProviderConfig configures the provider layer.
+	ProviderConfig provider.Config
+	// EngineConfig configures the query processor.
+	EngineConfig core.Config
+}
+
+// DefaultOptions returns the paper's simulation defaults.
+func DefaultOptions() Options {
+	return Options{
+		CANConfig:      can.DefaultConfig(),
+		ChordConfig:    chord.DefaultConfig(),
+		ProviderConfig: provider.DefaultConfig(),
+		EngineConfig:   core.DefaultConfig(),
+	}
+}
+
+// Node is one PIER participant: environment, router, provider, and
+// query processor, with messages dispatched layer by layer.
+type Node struct {
+	env      env.Env
+	router   dht.Router
+	provider *provider.Provider
+	engine   *core.Engine
+}
+
+// buildNode assembles the stack over an environment and registers the
+// message dispatch chain.
+func buildNode(e interface {
+	env.Env
+	SetHandler(env.Handler)
+}, opts Options) *Node {
+	var rt dht.Router
+	switch opts.DHT {
+	case Chord:
+		rt = chord.New(e, opts.ChordConfig)
+	default:
+		rt = can.New(e, opts.CANConfig)
+	}
+	prov := provider.New(e, rt, opts.ProviderConfig)
+	eng := core.New(e, prov, opts.EngineConfig)
+	n := &Node{env: e, router: rt, provider: prov, engine: eng}
+	e.SetHandler(env.HandlerFunc(func(from env.Addr, m env.Message) {
+		if rt.HandleMessage(from, m) {
+			return
+		}
+		if prov.HandleMessage(from, m) {
+			return
+		}
+		eng.HandleMessage(from, m)
+	}))
+	return n
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() env.Addr { return n.env.Addr() }
+
+// Router exposes the routing layer (lookup/join/leave, Table 1).
+func (n *Node) Router() dht.Router { return n.router }
+
+// Provider exposes the provider layer (get/put/renew/multicast/lscan/
+// newData, Table 3).
+func (n *Node) Provider() *provider.Provider { return n.provider }
+
+// Engine exposes the query processor.
+func (n *Node) Engine() *core.Engine { return n.engine }
+
+// Publish stores a tuple in the DHT under (table, resourceID) with the
+// given lifetime; wrappers publish and periodically renew this way
+// (§2.2c, §3.2.3). instanceID separates same-key items.
+func (n *Node) Publish(table, resourceID string, instanceID int64, t *Tuple, lifetime time.Duration) {
+	n.provider.Put(table, resourceID, instanceID, t, lifetime)
+}
+
+// Renew refreshes a previously published tuple's lifetime.
+func (n *Node) Renew(table, resourceID string, instanceID int64, t *Tuple, lifetime time.Duration) {
+	n.provider.Renew(table, resourceID, instanceID, t, lifetime)
+}
+
+// Query validates and disseminates a plan from this node and streams
+// result tuples into fn. It returns the query id for Cancel.
+//
+// In simulated networks, call Query between simulation Run calls (all
+// node code runs on the simulation goroutine).
+func (n *Node) Query(p *Plan, fn ResultFunc) (uint64, error) {
+	return n.engine.Run(p, fn)
+}
+
+// Cancel stops result delivery for a query started on this node.
+func (n *Node) Cancel(id uint64) { n.engine.Cancel(id) }
+
+// Leave departs the overlay gracefully: the node's zone and its stored
+// soft state transfer to a peer, so a clean shutdown (unlike a crash,
+// §5.6) loses nothing.
+func (n *Node) Leave() { n.provider.Leave() }

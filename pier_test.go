@@ -1,0 +1,375 @@
+package pier
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/topology"
+	"pier/internal/workload"
+)
+
+// loadWorkload distributes the synthetic tables over the DHT: base
+// tuples are stored under their primary key (§3.2.3: "Our query
+// processor by default assigns the resourceID to be the value of the
+// primary key for base tuples").
+func loadWorkload(sn *SimNetwork, t *workload.Tables) {
+	for i, r := range t.R {
+		sn.Load("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, 0)
+	}
+	for i, s := range t.S {
+		sn.Load("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, 0)
+	}
+}
+
+func pairSet(tuples []*Tuple) map[[2]int64]int {
+	m := make(map[[2]int64]int)
+	for _, t := range tuples {
+		m[[2]int64{t.Vals[0].(int64), t.Vals[1].(int64)}]++
+	}
+	return m
+}
+
+func runJoinTest(t *testing.T, strategy Strategy, opts Options) {
+	t.Helper()
+	sn := NewSimNetwork(24, topology.NewFullMeshInfinite(), 42, opts)
+	tables := workload.Generate(workload.Config{STuples: 40, Seed: 7})
+	loadWorkload(sn, tables)
+
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := tables.ReferenceJoin(c1, c2, c3)
+
+	plan := workload.JoinPlan(strategy, c1, c2, c3)
+	plan.BloomWait = 3 * time.Second
+	got, _, err := sn.Collect(0, plan, len(want), 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantSet := make(map[[2]int64]int)
+	for _, p := range want {
+		wantSet[p]++
+	}
+	gotSet := pairSet(got)
+	if len(gotSet) != len(wantSet) || len(got) != len(want) {
+		t.Fatalf("%v: got %d results (%d distinct), want %d (%d distinct)",
+			strategy, len(got), len(gotSet), len(want), len(wantSet))
+	}
+	for p, n := range wantSet {
+		if gotSet[p] != n {
+			t.Fatalf("%v: pair %v appeared %d times, want %d", strategy, p, gotSet[p], n)
+		}
+	}
+	// Result tuples carry the 1 KB pad (§5.1).
+	if len(got) > 0 && got[0].WireSize() < 900 {
+		t.Fatalf("result tuple only %d bytes; R.pad must ride along", got[0].WireSize())
+	}
+}
+
+func TestSymmetricHashJoinMatchesReference(t *testing.T) {
+	runJoinTest(t, SymmetricHash, DefaultOptions())
+}
+
+func TestFetchMatchesJoinMatchesReference(t *testing.T) {
+	runJoinTest(t, FetchMatches, DefaultOptions())
+}
+
+func TestSymmetricSemiJoinMatchesReference(t *testing.T) {
+	runJoinTest(t, SymmetricSemiJoin, DefaultOptions())
+}
+
+func TestBloomJoinMatchesReference(t *testing.T) {
+	runJoinTest(t, BloomJoin, DefaultOptions())
+}
+
+func TestJoinsOverChord(t *testing.T) {
+	// The paper's validation exercise: the same engine over Chord
+	// (§3.2) — "a fairly minimal integration effort".
+	opts := DefaultOptions()
+	opts.DHT = Chord
+	for _, s := range []Strategy{SymmetricHash, FetchMatches} {
+		runJoinTest(t, s, opts)
+	}
+}
+
+func TestJoinSelectivityZeroGivesNoResults(t *testing.T) {
+	sn := NewSimNetwork(12, topology.NewFullMeshInfinite(), 3, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 20, Seed: 9})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.0, 0.5, 0.5) // R predicate passes nothing
+	plan := workload.JoinPlan(SymmetricHash, c1, c2, c3)
+	got, _, err := sn.Collect(0, plan, 0, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d results, want 0", len(got))
+	}
+}
+
+func TestSingleTableSelection(t *testing.T) {
+	sn := NewSimNetwork(8, topology.NewFullMeshInfinite(), 5, DefaultOptions())
+	for i := 0; i < 50; i++ {
+		tu := &Tuple{Rel: "T", Vals: []Value{int64(i), int64(i % 10)}}
+		sn.Load("T", fmt.Sprint(i), int64(i), tu, 0)
+	}
+	plan := &Plan{
+		Tables: []TableRef{{
+			NS:     "T",
+			Filter: &core.Cmp{Op: core.LT, L: &core.Col{Idx: 1}, R: &core.Const{V: int64(3)}},
+		}},
+	}
+	got, _, err := sn.Collect(2, plan, 15, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("selection returned %d rows, want 15", len(got))
+	}
+	for _, tu := range got {
+		if tu.Vals[1].(int64) >= 3 {
+			t.Fatalf("predicate violated: %v", tu)
+		}
+	}
+}
+
+func TestGroupByCountHaving(t *testing.T) {
+	// The paper's §2.1 summary query:
+	//   SELECT I.fingerprint, count(*) AS cnt FROM intrusions I
+	//   GROUP BY I.fingerprint HAVING cnt > 10
+	sn := NewSimNetwork(16, topology.NewFullMeshInfinite(), 8, DefaultOptions())
+	counts := map[string]int64{"fpA": 14, "fpB": 10, "fpC": 25, "fpD": 3}
+	iid := int64(0)
+	for fp, n := range counts {
+		for i := int64(0); i < n; i++ {
+			iid++
+			tu := &Tuple{Rel: "intrusions", Vals: []Value{fp, fmt.Sprintf("10.0.0.%d", iid%250)}}
+			sn.Load("intrusions", fmt.Sprintf("%s/%d", fp, iid), iid, tu, 0)
+		}
+	}
+	plan := &Plan{
+		Tables:  []TableRef{{NS: "intrusions"}},
+		GroupBy: []int{0},
+		Aggs:    []Aggregate{{Kind: Count, Col: -1}},
+		Having:  &core.Cmp{Op: core.GT, L: &core.Col{Idx: 1}, R: &core.Const{V: int64(10)}},
+		AggWait: 5 * time.Second,
+	}
+	got, _, err := sn.Collect(0, plan, 2, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := map[string]int64{}
+	for _, tu := range got {
+		res[tu.Vals[0].(string)] = tu.Vals[1].(int64)
+	}
+	want := map[string]int64{"fpA": 14, "fpC": 25}
+	if len(res) != len(want) {
+		t.Fatalf("groups = %v, want %v", res, want)
+	}
+	for k, v := range want {
+		if res[k] != v {
+			t.Fatalf("group %s = %d, want %d", k, res[k], v)
+		}
+	}
+}
+
+func TestAggregatesSumMinMaxAvg(t *testing.T) {
+	sn := NewSimNetwork(8, topology.NewFullMeshInfinite(), 6, DefaultOptions())
+	vals := []int64{5, 1, 9, 4, 11}
+	var sum int64
+	for i, v := range vals {
+		sum += v
+		tu := &Tuple{Rel: "m", Vals: []Value{"g", v}}
+		sn.Load("m", fmt.Sprint(i), int64(i), tu, 0)
+	}
+	plan := &Plan{
+		Tables:  []TableRef{{NS: "m"}},
+		GroupBy: []int{0},
+		Aggs: []Aggregate{
+			{Kind: Sum, Col: 1}, {Kind: Min, Col: 1}, {Kind: Max, Col: 1}, {Kind: Avg, Col: 1}, {Kind: Count, Col: -1},
+		},
+		AggWait: 5 * time.Second,
+	}
+	got, _, err := sn.Collect(1, plan, 1, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d groups, want 1", len(got))
+	}
+	row := got[0].Vals
+	if row[1].(int64) != sum || row[2].(int64) != 1 || row[3].(int64) != 11 {
+		t.Fatalf("sum/min/max = %v/%v/%v", row[1], row[2], row[3])
+	}
+	if avg := row[4].(float64); avg < 5.9 || avg > 6.1 {
+		t.Fatalf("avg = %v, want 6", avg)
+	}
+	if row[5].(int64) != int64(len(vals)) {
+		t.Fatalf("count = %v, want %d", row[5], len(vals))
+	}
+}
+
+func TestJoinWithAggregation(t *testing.T) {
+	// §2.1's weighted-reputation query shape: join + group by + having
+	// with a computed output column:
+	//   SELECT I.fingerprint, count(*) * sum(R.weight) AS wcnt
+	//   FROM intrusions I, reputation R WHERE R.address = I.address
+	//   GROUP BY I.fingerprint HAVING wcnt > 10
+	sn := NewSimNetwork(16, topology.NewFullMeshInfinite(), 10, DefaultOptions())
+	// reputation: address -> weight; published hashed on address.
+	weights := map[string]int64{"a1": 2, "a2": 1, "a3": 5}
+	i := int64(0)
+	for addr, w := range weights {
+		i++
+		sn.Load("reputation", addr, i, &Tuple{Rel: "reputation", Vals: []Value{addr, w}}, 0)
+	}
+	// intrusions: (fingerprint, address)
+	events := []struct {
+		fp, addr string
+		n        int
+	}{{"fpX", "a1", 3}, {"fpX", "a2", 1}, {"fpY", "a3", 1}, {"fpZ", "a2", 2}}
+	for _, e := range events {
+		for k := 0; k < e.n; k++ {
+			i++
+			sn.Load("intrusions", fmt.Sprintf("%d", i), i, &Tuple{Rel: "intrusions", Vals: []Value{e.fp, e.addr}}, 0)
+		}
+	}
+	// Join row: [I.fingerprint, I.address, R.address, R.weight]
+	plan := &Plan{
+		Tables: []TableRef{
+			{NS: "intrusions", JoinCols: []int{1}, RIDCol: 1},
+			{NS: "reputation", JoinCols: []int{0}, RIDCol: 0},
+		},
+		Strategy: SymmetricHash,
+		GroupBy:  []int{0},
+		Aggs:     []Aggregate{{Kind: Count, Col: -1}, {Kind: Sum, Col: 3}},
+		// row seen by Having/Output: [fp, count, sum]
+		Having: &core.Cmp{Op: core.GT,
+			L: &core.Arith{Op: core.Mul, L: &core.Col{Idx: 1}, R: &core.Col{Idx: 2}},
+			R: &core.Const{V: int64(10)}},
+		Output: []core.Expr{&core.Col{Idx: 0},
+			&core.Arith{Op: core.Mul, L: &core.Col{Idx: 1}, R: &core.Col{Idx: 2}}},
+		AggWait: 8 * time.Second,
+	}
+	got, _, err := sn.Collect(0, plan, 2, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := map[string]int64{}
+	for _, tu := range got {
+		res[tu.Vals[0].(string)] = tu.Vals[1].(int64)
+	}
+	// fpX: count 4 × sum(2+2+2+1=7) = 28; fpY: 1×5=5 (filtered); fpZ: 2×2=4 (filtered).
+	want := map[string]int64{"fpX": 28}
+	if len(res) != 1 || res["fpX"] != want["fpX"] {
+		t.Fatalf("weighted groups = %v, want %v", res, want)
+	}
+}
+
+func TestContinuousWindowedAggregation(t *testing.T) {
+	// §7 "Continuous queries over streams": tumbling windows over a
+	// stream of published tuples.
+	sn := NewSimNetwork(8, topology.NewFullMeshInfinite(), 12, DefaultOptions())
+	plan := &Plan{
+		Tables:     []TableRef{{NS: "pkts"}},
+		GroupBy:    []int{0},
+		Aggs:       []Aggregate{{Kind: Count, Col: -1}, {Kind: Sum, Col: 1}},
+		Continuous: true,
+		Every:      10 * time.Second,
+		Windows:    2,
+		AggWait:    4 * time.Second,
+		TTL:        2 * time.Minute,
+	}
+	type res struct {
+		window int
+		src    string
+		count  int64
+	}
+	var results []res
+	_, err := sn.Nodes[0].Query(plan, func(t *core.Tuple, w int) {
+		results = append(results, res{w, t.Vals[0].(string), t.Vals[1].(int64)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0: 3 packets from h1; window 1: 2 from h1, 1 from h2.
+	publish := func(at time.Duration, src string, bytes int64, iid int64) {
+		node := sn.Nodes[3]
+		sn.Net.Node(3).After(at, func() {
+			node.Publish("pkts", fmt.Sprintf("%s/%d", src, iid), iid, &Tuple{Rel: "pkts", Vals: []Value{src, bytes}}, time.Minute)
+		})
+	}
+	publish(1*time.Second, "h1", 100, 1)
+	publish(2*time.Second, "h1", 100, 2)
+	publish(3*time.Second, "h1", 100, 3)
+	publish(12*time.Second, "h1", 100, 4)
+	publish(13*time.Second, "h1", 100, 5)
+	publish(14*time.Second, "h2", 700, 6)
+	sn.RunFor(40 * time.Second)
+
+	byWindow := map[int]map[string]int64{}
+	for _, r := range results {
+		if byWindow[r.window] == nil {
+			byWindow[r.window] = map[string]int64{}
+		}
+		byWindow[r.window][r.src] += r.count
+	}
+	if byWindow[0]["h1"] != 3 {
+		t.Fatalf("window 0 h1 count = %d, want 3 (results: %v)", byWindow[0]["h1"], results)
+	}
+	if byWindow[1]["h1"] != 2 || byWindow[1]["h2"] != 1 {
+		t.Fatalf("window 1 = %v, want h1:2 h2:1", byWindow[1])
+	}
+}
+
+func TestQueryFromAnyNodeSameAnswer(t *testing.T) {
+	sn := NewSimNetwork(16, topology.NewFullMeshInfinite(), 20, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 20, Seed: 4})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := tables.ReferenceJoin(c1, c2, c3)
+	for _, origin := range []int{0, 7, 15} {
+		got, _, err := sn.Collect(origin, workload.JoinPlan(SymmetricHash, c1, c2, c3), len(want), 10*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("origin %d: got %d results, want %d", origin, len(got), len(want))
+		}
+	}
+}
+
+func TestRecallIsPerfectWithoutFailures(t *testing.T) {
+	sn := NewSimNetwork(32, topology.NewFullMesh(), 1, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 30, Seed: 2, PadBytes: 64})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := tables.ReferenceJoin(c1, c2, c3)
+	got, _, err := sn.Collect(0, workload.JoinPlan(SymmetricHash, c1, c2, c3), len(want), 20*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recall %d/%d != 100%% on a healthy network", len(got), len(want))
+	}
+}
+
+func TestResultTimesAreMonotonic(t *testing.T) {
+	sn := NewSimNetwork(16, topology.NewFullMesh(), 33, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 30, Seed: 5, PadBytes: 64})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := tables.ReferenceJoin(c1, c2, c3)
+	_, times, err := sn.Collect(0, workload.JoinPlan(SymmetricHash, c1, c2, c3), len(want), 20*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i].Before(times[j]) }) {
+		t.Fatal("result arrival times not monotonic")
+	}
+	if len(times) > 0 && times[0].Sub(sn.Net.Now()) > 0 {
+		t.Fatal("future timestamps")
+	}
+}

@@ -1,0 +1,71 @@
+package pier
+
+import (
+	"time"
+
+	"pier/internal/env"
+	"pier/internal/realnet"
+)
+
+// RealNode is a PIER node bound to a real TCP transport — the same
+// stack the simulator runs, deployed (§5.8).
+type RealNode struct {
+	*Node
+	transport *realnet.Node
+}
+
+// StartNode launches a PIER node listening on addr (e.g. "127.0.0.1:0")
+// and joins the overlay through landmark; pass env.NilAddr ("") to
+// start a new network.
+//
+// Real deployments churn: nodes join and leave while queries run, and
+// directed-flood pruning assumes stabilized neighbor state. Real nodes
+// therefore always use robust (full) flooding; the directed optimization
+// is for stabilized simulation experiments.
+func StartNode(addr string, landmark env.Addr, seed int64, opts Options) (*RealNode, error) {
+	opts.ProviderConfig.RobustMulticast = true
+	tr, err := realnet.Listen(addr, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := buildNode(tr, opts)
+	rn := &RealNode{Node: n, transport: tr}
+	tr.Do(func() { n.router.Join(landmark) })
+	return rn, nil
+}
+
+// Do runs f on the node's event loop and waits — required for any access
+// to node state from application goroutines.
+func (rn *RealNode) Do(f func()) { rn.transport.Do(f) }
+
+// WaitReady blocks until the node has joined the overlay or the timeout
+// expires, reporting success.
+func (rn *RealNode) WaitReady(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ready := false
+		rn.Do(func() { ready = rn.router.Ready() })
+		if ready {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// Close shuts the transport down.
+func (rn *RealNode) Close() { rn.transport.Close() }
+
+// PublishSync publishes a tuple from the node's event loop.
+func (rn *RealNode) PublishSync(table, rid string, iid int64, t *Tuple, lifetime time.Duration) {
+	rn.Do(func() { rn.Publish(table, rid, iid, t, lifetime) })
+}
+
+// QuerySync starts a query from the node's event loop and returns its
+// id. Results stream into fn on the event loop.
+func (rn *RealNode) QuerySync(p *Plan, fn ResultFunc) (uint64, error) {
+	var id uint64
+	var err error
+	rn.Do(func() { id, err = rn.Query(p, fn) })
+	return id, err
+}

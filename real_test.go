@@ -1,0 +1,168 @@
+package pier
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/dht/storage"
+	"pier/internal/env"
+	"pier/internal/workload"
+)
+
+// startCluster launches n real-transport nodes on loopback, joined into
+// one CAN overlay.
+func startCluster(t *testing.T, n int) []*RealNode {
+	t.Helper()
+	opts := DefaultOptions()
+	nodes := make([]*RealNode, 0, n)
+	first, err := StartNode("127.0.0.1:0", env.NilAddr, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes = append(nodes, first)
+	for i := 1; i < n; i++ {
+		nd, err := StartNode("127.0.0.1:0", first.Addr(), int64(i+2), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nd.WaitReady(10 * time.Second) {
+			t.Fatalf("node %d did not join", i)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes
+}
+
+func TestRealNetPutGet(t *testing.T) {
+	nodes := startCluster(t, 4)
+	nodes[1].PublishSync("T", "k1", 1, &Tuple{Rel: "T", Vals: []Value{int64(7), "x"}}, time.Minute)
+
+	// Put is async (lookup + direct send); poll briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ch := make(chan []*storage.Item, 1)
+		nodes[3].Do(func() {
+			nodes[3].Provider().Get("T", "k1", func(items []*storage.Item) {
+				select {
+				case ch <- items:
+				default:
+				}
+			})
+		})
+		select {
+		case items := <-ch:
+			if len(items) == 1 {
+				tu := items[0].Payload.(*Tuple)
+				if tu.Vals[0].(int64) != 7 || tu.Vals[1].(string) != "x" {
+					t.Fatalf("wrong tuple over the wire: %v", tu)
+				}
+				return
+			}
+		case <-time.After(5 * time.Second):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("item never became visible over realnet")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestRealNetEndToEndJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a TCP cluster")
+	}
+	nodes := startCluster(t, 5)
+	tables := workload.Generate(workload.Config{STuples: 12, Seed: 31, PadBytes: 32})
+	for i, r := range tables.R {
+		nodes[i%len(nodes)].PublishSync("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, time.Minute)
+	}
+	for i, s := range tables.S {
+		nodes[i%len(nodes)].PublishSync("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, time.Minute)
+	}
+	time.Sleep(500 * time.Millisecond) // let puts land
+
+	c1, c2, c3 := workload.Constants(1, 1, 1) // no filtering: every matched pair
+	want := tables.ReferenceJoin(c1, c2, c3)
+
+	var mu sync.Mutex
+	var got []*Tuple
+	plan := workload.JoinPlan(SymmetricHash, c1, c2, c3)
+	if _, err := nodes[0].QuerySync(plan, func(tu *core.Tuple, _ int) {
+		mu.Lock()
+		got = append(got, tu)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= len(want) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("real deployment returned %d results, want %d", len(got), len(want))
+	}
+	var gotPairs, wantPairs []string
+	for _, tu := range got {
+		gotPairs = append(gotPairs, fmt.Sprintf("%v-%v", tu.Vals[0], tu.Vals[1]))
+	}
+	for _, p := range want {
+		wantPairs = append(wantPairs, fmt.Sprintf("%d-%d", p[0], p[1]))
+	}
+	sort.Strings(gotPairs)
+	sort.Strings(wantPairs)
+	for i := range wantPairs {
+		if gotPairs[i] != wantPairs[i] {
+			t.Fatalf("result mismatch at %d: %s vs %s", i, gotPairs[i], wantPairs[i])
+		}
+	}
+}
+
+func TestRealNetMulticastQueryDissemination(t *testing.T) {
+	nodes := startCluster(t, 3)
+	var mu sync.Mutex
+	seen := 0
+	for _, nd := range nodes {
+		nd := nd
+		nd.Do(func() {
+			nd.Provider().OnMulticast(func(origin env.Addr, ns string, m env.Message) {
+				if ns == "hello" {
+					mu.Lock()
+					seen++
+					mu.Unlock()
+				}
+			})
+		})
+	}
+	nodes[1].Do(func() {
+		nodes[1].Provider().Multicast("hello", &Tuple{Rel: "x", Vals: []Value{int64(1)}})
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := seen
+		mu.Unlock()
+		if n == 3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("multicast reached %d/3 nodes", seen)
+}

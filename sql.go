@@ -1,0 +1,20 @@
+package pier
+
+import "pier/internal/sql"
+
+// SQLTable describes a relation's schema to the SQL planner: column
+// names and the primary-key column used as the base resourceID.
+type SQLTable = sql.Table
+
+// Catalog maps table names to schemas for ParseSQL.
+type Catalog = sql.Catalog
+
+// ParseSQL parses a single-block SELECT over one or two tables and
+// lowers it to an executable Plan. The paper lists declarative query
+// parsing as future work layered above the query processor (§3.3); this
+// front end covers all of §2.1's example queries, including joins,
+// GROUP BY / HAVING with aliases, and an optional
+// `USING STRATEGY '<name>'` clause to pick the join algorithm.
+func ParseSQL(src string, cat Catalog) (*Plan, error) {
+	return sql.Plan(src, cat)
+}

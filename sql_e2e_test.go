@@ -1,0 +1,78 @@
+package pier
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/topology"
+	"pier/internal/workload"
+)
+
+var e2eCat = Catalog{
+	"R":          {Name: "R", Cols: []string{"pkey", "num1", "num2", "num3"}, Key: "pkey"},
+	"S":          {Name: "S", Cols: []string{"pkey", "num2", "num3"}, Key: "pkey"},
+	"intrusions": {Name: "intrusions", Cols: []string{"fingerprint", "address"}, Key: "fingerprint"},
+}
+
+func TestSQLWorkloadQueryEndToEnd(t *testing.T) {
+	// The §5.1 workload query expressed in SQL must produce the same
+	// results as the hand-built plan, for every strategy name.
+	sn := NewSimNetwork(16, topology.NewFullMeshInfinite(), 61, DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: 30, Seed: 44})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := tables.ReferenceJoin(c1, c2, c3)
+
+	for _, strat := range []string{"symmetric hash", "fetch matches", "semi-join", "bloom"} {
+		src := fmt.Sprintf(`
+			SELECT R.pkey, S.pkey
+			FROM R, S
+			WHERE R.num1 = S.pkey AND R.num2 > %d AND S.num2 > %d
+			  AND f(R.num3, S.num3) > %d
+			USING STRATEGY '%s'`, c1, c2, c3, strat)
+		plan, err := ParseSQL(src, e2eCat)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		plan.BloomWait = 3 * time.Second
+		got, _, err := sn.Collect(0, plan, len(want), 10*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s via SQL: %d results, want %d", strat, len(got), len(want))
+		}
+	}
+}
+
+func TestSQLAggregateEndToEnd(t *testing.T) {
+	sn := NewSimNetwork(12, topology.NewFullMeshInfinite(), 62, DefaultOptions())
+	counts := map[string]int{"fpA": 12, "fpB": 5}
+	iid := int64(0)
+	for fp, n := range counts {
+		for i := 0; i < n; i++ {
+			iid++
+			sn.Load("intrusions", fmt.Sprintf("%s/%d", fp, iid), iid,
+				&Tuple{Rel: "intrusions", Vals: []Value{fp, "10.0.0.1"}}, 0)
+		}
+	}
+	plan, err := ParseSQL(`
+		SELECT I.fingerprint, count(*) AS cnt
+		FROM intrusions AS I
+		GROUP BY I.fingerprint
+		HAVING cnt > 10`, e2eCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.AggWait = 5 * time.Second
+	got, _, err := sn.Collect(0, plan, 1, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Vals[0].(string) != "fpA" || got[0].Vals[1].(int64) != 12 {
+		t.Fatalf("SQL aggregate returned %v", got)
+	}
+	_ = core.Count
+}

@@ -1,0 +1,95 @@
+package pier
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/topology"
+	"pier/internal/workload"
+)
+
+// TestContinuousTailQuery exercises the non-aggregating continuous
+// path: a standing selection over a stream of arrivals, like tailing a
+// distributed log.
+func TestContinuousTailQuery(t *testing.T) {
+	sn := NewSimNetwork(12, topology.NewFullMesh(), 55, DefaultOptions())
+	plan := &Plan{
+		Tables: []TableRef{{
+			NS:     "log",
+			Filter: &core.Cmp{Op: core.EQ, L: &core.Col{Idx: 0}, R: &core.Const{V: "ERROR"}},
+		}},
+		Continuous: true,
+		Every:      10 * time.Second,
+		TTL:        2 * time.Minute,
+	}
+	var got []string
+	if _, err := sn.Nodes[0].Query(plan, func(tu *core.Tuple, _ int) {
+		got = append(got, tu.Vals[1].(string))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := []struct {
+		level, msg string
+	}{
+		{"INFO", "boot"}, {"ERROR", "disk full"}, {"WARN", "slow"},
+		{"ERROR", "oom"}, {"INFO", "ok"},
+	}
+	for i, l := range lines {
+		i, l := i, l
+		node := sn.Nodes[(i+3)%12]
+		sn.Net.Node((i+3)%12).After(time.Duration(i+1)*time.Second, func() {
+			node.Publish("log", fmt.Sprint(i), int64(i),
+				&Tuple{Rel: "log", Vals: []Value{l.level, l.msg}}, time.Minute)
+		})
+	}
+	sn.RunFor(30 * time.Second)
+	if len(got) != 2 {
+		t.Fatalf("tail matched %d lines, want 2: %v", len(got), got)
+	}
+	if got[0] != "disk full" || got[1] != "oom" {
+		t.Fatalf("tail rows: %v", got)
+	}
+}
+
+// TestStrategyChoiceIsUsableInPlans wires the optimizer's pick into a
+// real plan and runs it.
+func TestStrategyChoiceIsUsableInPlans(t *testing.T) {
+	strategy, ests := ChooseStrategy(JoinStats{
+		Left:          TableStats{Tuples: 200, TupleBytes: 1024, Selectivity: 0.5, DistinctJoinKeys: 40},
+		Right:         TableStats{Tuples: 20, TupleBytes: 40, Selectivity: 0.5, HashedOnJoinAttr: true},
+		MatchFraction: 0.9,
+	}, NetStats{Nodes: 16, HopLatency: 100 * time.Millisecond}, MinTraffic)
+	if len(ests) != 4 {
+		t.Fatalf("estimates = %d", len(ests))
+	}
+	sn := NewSimNetwork(16, topology.NewFullMesh(), 56, DefaultOptions())
+	tables := loadSmallWorkload(sn)
+	plan := tables.plan
+	plan.Strategy = strategy
+	got, _, err := sn.Collect(0, plan, tables.want, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != tables.want {
+		t.Fatalf("optimizer-chosen %v returned %d/%d", strategy, len(got), tables.want)
+	}
+}
+
+type smallWorkload struct {
+	plan *Plan
+	want int
+}
+
+// loadSmallWorkload loads a small §5.1 workload instance and returns
+// its plan skeleton and expected result count.
+func loadSmallWorkload(sn *SimNetwork) smallWorkload {
+	tables := workload.Generate(workload.Config{STuples: 20, Seed: 57})
+	loadWorkload(sn, tables)
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	return smallWorkload{
+		plan: workload.JoinPlan(SymmetricHash, c1, c2, c3),
+		want: len(tables.ReferenceJoin(c1, c2, c3)),
+	}
+}
