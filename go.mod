@@ -1,0 +1,3 @@
+module pier
+
+go 1.22

@@ -1,0 +1,97 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+
+	"pier/internal/env"
+	"pier/internal/wire/wiretest"
+)
+
+func randZone(r *rand.Rand) Zone {
+	z := RootZone(1 + r.Intn(4))
+	for z.Splittable() && r.Intn(3) > 0 {
+		lower, upper := z.Split()
+		if r.Intn(2) == 0 {
+			z = lower
+		} else {
+			z = upper
+		}
+	}
+	return z
+}
+
+func randZones(r *rand.Rand, dims int) []Zone {
+	n := 1 + r.Intn(3)
+	zs := make([]Zone, n)
+	for i := range zs {
+		z := RootZone(dims)
+		for z.Splittable() && r.Intn(3) > 0 {
+			lower, upper := z.Split()
+			if r.Intn(2) == 0 {
+				z = lower
+			} else {
+				z = upper
+			}
+		}
+		zs[i] = z
+	}
+	return zs
+}
+
+func randPoint(r *rand.Rand) []uint32 {
+	p := make([]uint32, 1+r.Intn(4))
+	for i := range p {
+		p[i] = r.Uint32()
+	}
+	return p
+}
+
+func randNbrs(r *rand.Rand, dims int) map[env.Addr][]Zone {
+	n := r.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[env.Addr][]Zone, n)
+	for i := 0; i < n; i++ {
+		m[env.Addr(wiretest.Str(r, 7))] = randZones(r, dims)
+	}
+	return m
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	wiretest.RoundTrip(t, 11, 300, []wiretest.Gen{
+		{Name: "lookupMsg", Make: func(r *rand.Rand) env.Message {
+			return &lookupMsg{
+				Point:  randPoint(r),
+				Origin: wiretest.ShortAddr(r),
+				Nonce:  r.Uint64(),
+				Hops:   uint16(r.Intn(1 << 16)),
+			}
+		}},
+		{Name: "lookupReply", Make: func(r *rand.Rand) env.Message {
+			return &lookupReply{Nonce: r.Uint64(), Hops: uint16(r.Intn(1 << 16))}
+		}},
+		{Name: "joinReq", Make: func(r *rand.Rand) env.Message {
+			return &joinReq{
+				Point:  randPoint(r),
+				Joiner: wiretest.ShortAddr(r),
+				Hops:   uint16(r.Intn(1 << 16)),
+			}
+		}},
+		{Name: "joinReply", Make: func(r *rand.Rand) env.Message {
+			z := randZone(r)
+			return &joinReply{Zone: z, Neighbors: randNbrs(r, z.Dims())}
+		}},
+		{Name: "neighborUpdate", Make: func(r *rand.Rand) env.Message {
+			dims := 1 + r.Intn(3)
+			return &neighborUpdate{Zones: randZones(r, dims), Nbrs: randNbrs(r, dims)}
+		}},
+		{Name: "takeoverNotice", Make: func(r *rand.Rand) env.Message {
+			return &takeoverNotice{Dead: wiretest.ShortAddr(r), Zones: randZones(r, 2)}
+		}},
+		{Name: "leaveNotice", Make: func(r *rand.Rand) env.Message {
+			return &leaveNotice{Zones: randZones(r, 2), Nbrs: randNbrs(r, 2)}
+		}},
+	})
+}

@@ -1,0 +1,66 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"pier/internal/env"
+	"pier/internal/wire/wiretest"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	wiretest.RoundTrip(t, 13, 300, []wiretest.Gen{
+		{Name: "findSuccMsg", Make: func(r *rand.Rand) env.Message {
+			return &findSuccMsg{
+				ID:     r.Uint64(),
+				Origin: wiretest.ShortAddr(r),
+				Nonce:  r.Uint64(),
+				Hops:   uint16(r.Intn(1 << 16)),
+			}
+		}},
+		{Name: "findSuccReply", Make: func(r *rand.Rand) env.Message {
+			return &findSuccReply{
+				Nonce: r.Uint64(),
+				Owner: wiretest.ShortAddr(r),
+				Hops:  uint16(r.Intn(1 << 16)),
+			}
+		}},
+		{Name: "getPredMsg", Make: func(r *rand.Rand) env.Message {
+			return &getPredMsg{Origin: wiretest.ShortAddr(r), Nonce: r.Uint64()}
+		}},
+		{Name: "getPredReply", Make: func(r *rand.Rand) env.Message {
+			g := &getPredReply{
+				Nonce:   r.Uint64(),
+				HasPred: r.Intn(2) == 0,
+				PredID:  r.Uint64(),
+			}
+			if g.HasPred {
+				g.PredAddr = wiretest.ShortAddr(r)
+			}
+			if n := r.Intn(5); n > 0 {
+				g.SuccAddrs = make([]env.Addr, n)
+				for i := range g.SuccAddrs {
+					g.SuccAddrs[i] = wiretest.ShortAddr(r)
+				}
+			}
+			return g
+		}},
+		{Name: "notifyMsg", Make: func(r *rand.Rand) env.Message {
+			return &notifyMsg{ID: r.Uint64()}
+		}},
+		{Name: "pingMsg", Make: func(r *rand.Rand) env.Message {
+			return &pingMsg{Origin: wiretest.ShortAddr(r), Nonce: r.Uint64()}
+		}},
+		{Name: "pongMsg", Make: func(r *rand.Rand) env.Message {
+			return &pongMsg{Nonce: r.Uint64()}
+		}},
+		{Name: "leaveMsg", Make: func(r *rand.Rand) env.Message {
+			return &leaveMsg{
+				SuccAddr: wiretest.ShortAddr(r),
+				SuccID:   r.Uint64(),
+				PredAddr: wiretest.ShortAddr(r),
+				PredID:   r.Uint64(),
+			}
+		}},
+	})
+}

@@ -1,0 +1,110 @@
+package provider
+
+// Binary wire codecs for the provider's put/get/transfer protocol,
+// mirroring the gob.Register calls in messages.go.
+
+import (
+	"pier/internal/dht/storage"
+	"pier/internal/env"
+	"pier/internal/wire"
+)
+
+const (
+	tagPutMsg byte = 33 + iota
+	tagGetMsg
+	tagGetReply
+	tagTransferMsg
+	tagNSPayload
+)
+
+func init() {
+	wire.Register(tagPutMsg, &putMsg{},
+		func(e *wire.Encoder, m env.Message) {
+			e.Message(m.(*putMsg).Item)
+		},
+		func(d *wire.Decoder) env.Message {
+			return &putMsg{Item: requiredItem(d)}
+		})
+
+	wire.Register(tagGetMsg, &getMsg{},
+		func(e *wire.Encoder, m env.Message) {
+			g := m.(*getMsg)
+			e.String(g.NS)
+			e.String(g.RID)
+			e.Uvarint(g.Nonce)
+			e.Addr(g.Origin)
+			e.Bool(g.Forwarded)
+		},
+		func(d *wire.Decoder) env.Message {
+			return &getMsg{
+				NS:        d.String(),
+				RID:       d.String(),
+				Nonce:     d.Uvarint(),
+				Origin:    d.Addr(),
+				Forwarded: d.Bool(),
+			}
+		})
+
+	wire.Register(tagGetReply, &getReply{},
+		func(e *wire.Encoder, m env.Message) {
+			g := m.(*getReply)
+			e.Uvarint(g.Nonce)
+			e.Len(len(g.Items))
+			for _, it := range g.Items {
+				e.Message(it)
+			}
+		},
+		func(d *wire.Decoder) env.Message {
+			g := &getReply{Nonce: d.Uvarint()}
+			if n := d.Len(); n > 0 {
+				g.Items = make([]*storage.Item, 0, wire.SliceCap(n))
+				for i := 0; i < n && d.Err() == nil; i++ {
+					g.Items = append(g.Items, requiredItem(d))
+				}
+			}
+			return g
+		})
+
+	wire.Register(tagTransferMsg, &transferMsg{},
+		func(e *wire.Encoder, m env.Message) {
+			t := m.(*transferMsg)
+			e.Len(len(t.Items))
+			for _, it := range t.Items {
+				e.Message(it)
+			}
+		},
+		func(d *wire.Decoder) env.Message {
+			t := &transferMsg{}
+			if n := d.Len(); n > 0 {
+				t.Items = make([]*storage.Item, 0, wire.SliceCap(n))
+				for i := 0; i < n && d.Err() == nil; i++ {
+					t.Items = append(t.Items, requiredItem(d))
+				}
+			}
+			return t
+		})
+
+	wire.Register(tagNSPayload, &nsPayload{},
+		func(e *wire.Encoder, m env.Message) {
+			p := m.(*nsPayload)
+			e.String(p.NS)
+			e.Message(p.Payload)
+		},
+		func(d *wire.Decoder) env.Message {
+			p := &nsPayload{NS: d.String(), Payload: d.Message()}
+			if p.Payload == nil && d.Err() == nil {
+				d.Fail("missing required multicast payload")
+			}
+			return p
+		})
+}
+
+// requiredItem rejects frames whose handlers would nil-deref a missing
+// item (StoreLocal and transfer both dereference unconditionally).
+func requiredItem(d *wire.Decoder) *storage.Item {
+	it := storage.ItemField(d)
+	if it == nil && d.Err() == nil {
+		d.Fail("missing required storage item")
+	}
+	return it
+}

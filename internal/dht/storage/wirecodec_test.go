@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pier/internal/env"
+	"pier/internal/wire"
+	"pier/internal/wire/wiretest"
+)
+
+// itemPayload stands in for the application payloads (tuples, filters,
+// partial aggregates) that ride inside items; those codecs are tested in
+// their owning packages.
+type itemPayload struct{ S string }
+
+func (p *itemPayload) WireSize() int { return env.StringSize(p.S) }
+
+func init() {
+	// The transport-facing registrations normally live in the provider
+	// package; this test binary does not link it.
+	gob.Register(&Item{})
+	gob.Register(&itemPayload{})
+	wire.Register(202, &itemPayload{},
+		func(e *wire.Encoder, m env.Message) { e.String(m.(*itemPayload).S) },
+		func(d *wire.Decoder) env.Message { return &itemPayload{S: d.String()} })
+}
+
+func randItem(r *rand.Rand) *Item {
+	it := &Item{
+		Namespace:  wiretest.Str(r, 12),
+		ResourceID: wiretest.Str(r, 12),
+		InstanceID: wiretest.SmallInt(r),
+	}
+	if r.Intn(4) > 0 {
+		it.Expires = time.Unix(0, int64(r.Int31())*1000)
+	}
+	if r.Intn(4) > 0 {
+		it.Payload = &itemPayload{S: wiretest.Str(r, 20)}
+	}
+	return it
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	wiretest.RoundTrip(t, 3, 300, []wiretest.Gen{
+		{Name: "Item", Make: func(r *rand.Rand) env.Message { return randItem(r) }},
+	})
+}

@@ -5,6 +5,14 @@ package env
 // instead. The constants approximate a compact binary encoding plus a
 // small per-message header, in the spirit of the paper's accounting of
 // "aggregate network traffic" (Figure 4).
+//
+// The real transport's binary codec (pier/internal/wire) is kept
+// comparable to this model: its property tests assert that a message's
+// encoded form never exceeds WireSize() + HeaderSize (for addresses
+// within AddrSize and int32-range integers), so simulated traffic
+// accounting and real frames stay in the same regime. WireSize remains
+// the charging model — it includes pad bytes and a fixed header the
+// codec does not literally send.
 
 const (
 	// HeaderSize is charged once per message: source/destination

@@ -1,25 +1,124 @@
-// Package realnet runs PIER nodes over real TCP sockets with
-// gob-encoded frames. It implements the same env.Env contract as the
-// simulator, so the node stack is byte-for-byte the code the simulator
-// executes — the paper's deployment story (§5.2: "The simulator and the
-// implementation use the same code base", §5.8).
+// Package realnet runs PIER nodes over real TCP sockets. It implements
+// the same env.Env contract as the simulator, so the node stack is
+// byte-for-byte the code the simulator executes — the paper's deployment
+// story (§5.2: "The simulator and the implementation use the same code
+// base", §5.8).
+//
+// Frames are encoded with the binary wire codec (pier/internal/wire):
+// a uvarint length prefix, the sender's address, and one tagged message.
+// The per-peer writer goroutine coalesces its outbound queue into
+// batches — it keeps draining the queue into one buffer and issues a
+// single write when the queue goes empty, the batch reaches
+// MaxBatchBytes, or MaxBatchDelay elapses — so a burst of small
+// soft-state messages (renews, miniTuples, partial aggregates) costs one
+// syscall instead of one per frame. The legacy gob codec is retained
+// behind Config.Codec as the benchmark baseline.
 //
 // Each node owns one listener, one event-loop goroutine that serializes
 // all node logic, and one writer goroutine per peer connection. Sends
-// are fire-and-forget: connection errors and full outbound queues drop
-// messages, exactly the behavior the soft-state design tolerates.
+// are fire-and-forget: connection errors, full outbound queues, and
+// malformed or oversized inbound frames drop messages (or connections),
+// exactly the behavior the soft-state design tolerates.
 package realnet
 
 import (
+	"bufio"
+	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
+	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pier/internal/env"
+	"pier/internal/wire"
 )
+
+// Codec selects the frame encoding.
+type Codec int
+
+const (
+	// CodecBinary is the length-prefixed binary wire protocol (default).
+	CodecBinary Codec = iota
+	// CodecGob is the legacy reflection-driven gob stream, kept as the
+	// baseline for transport benchmarks and fallback tests.
+	CodecGob
+)
+
+// Config tunes the transport. The zero value gives the production
+// defaults: binary codec, batching with a 64 KiB flush threshold and no
+// added delay, 16 MiB frame cap.
+type Config struct {
+	// Codec selects the frame encoding. All nodes of a deployment must
+	// agree.
+	Codec Codec
+
+	// MaxFrameBytes rejects inbound frames larger than this; the
+	// connection carrying one is dropped (binary codec only — gob has no
+	// framing to enforce). Default 16 MiB.
+	MaxFrameBytes int
+
+	// MaxBatchBytes flushes the write batch once it holds at least this
+	// many bytes. Default 64 KiB.
+	MaxBatchBytes int
+
+	// MaxBatchDelay, when positive, lets the writer wait up to this long
+	// after the first frame of a batch for more traffic before flushing
+	// a batch smaller than MaxBatchBytes. Zero (the default) flushes as
+	// soon as the outbound queue drains — coalescing without added
+	// latency.
+	MaxBatchDelay time.Duration
+
+	// NoBatch flushes every frame with its own write (the syscall-per-
+	// frame baseline the batching benchmarks compare against).
+	NoBatch bool
+
+	// OutboxLen is the per-peer outbound queue; sends beyond it drop.
+	// Default 1024.
+	OutboxLen int
+
+	// InboxLen is the event-loop queue. Default 4096.
+	InboxLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = 16 << 20
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 64 << 10
+	}
+	if c.OutboxLen <= 0 {
+		c.OutboxLen = 1024
+	}
+	if c.InboxLen <= 0 {
+		c.InboxLen = 4096
+	}
+	return c
+}
+
+// Stats is a snapshot of the transport counters.
+type Stats struct {
+	// FramesSent counts messages handed to the socket (self-sends are
+	// delivered in-process and not counted).
+	FramesSent uint64
+	// BatchesSent counts write calls; FramesSent/BatchesSent is the
+	// coalescing factor.
+	BatchesSent uint64
+	// BytesSent counts bytes written, framing included.
+	BytesSent uint64
+	// FramesRecv and BytesRecv count the inbound direction.
+	FramesRecv uint64
+	BytesRecv  uint64
+	// Drops counts messages discarded: full outbound queues, encoding
+	// failures, and frames lost when a connection died mid-batch.
+	Drops uint64
+}
 
 // frame is the on-wire unit: the sender's address and one message.
 type frame struct {
@@ -30,6 +129,7 @@ type frame struct {
 // Node implements env.Env over TCP.
 type Node struct {
 	addr    env.Addr
+	cfg     Config
 	ln      net.Listener
 	inbox   chan func()
 	handler env.Handler
@@ -40,31 +140,56 @@ type Node struct {
 	peers    map[env.Addr]*peer
 	accepted map[net.Conn]bool
 	done     chan struct{}
+	ctx      context.Context // canceled on Close; aborts in-flight dials
+	cancel   context.CancelFunc
 	wg       sync.WaitGroup
+
+	framesSent  atomic.Uint64
+	batchesSent atomic.Uint64
+	bytesSent   atomic.Uint64
+	framesRecv  atomic.Uint64
+	bytesRecv   atomic.Uint64
+	drops       atomic.Uint64
 
 	closeOnce sync.Once
 }
 
+// peer is one outbound connection. The writer goroutine dials lazily,
+// so sends enqueue without ever blocking on the network. conn is set by
+// the writer (under Node.mu, for Close) once the dial succeeds. dead is
+// closed at teardown so racing sends count their frames as drops
+// instead of enqueueing into an abandoned channel.
 type peer struct {
 	out  chan *frame
+	dead chan struct{}
 	conn net.Conn
 }
 
-// Listen starts a node listening on addr (e.g. "127.0.0.1:0"). The
-// returned node's event loop runs until Close.
+// Listen starts a node with the default Config listening on addr (e.g.
+// "127.0.0.1:0"). The returned node's event loop runs until Close.
 func Listen(addr string, seed int64) (*Node, error) {
+	return ListenConfig(addr, seed, Config{})
+}
+
+// ListenConfig starts a node with an explicit transport configuration.
+func ListenConfig(addr string, seed int64, cfg Config) (*Node, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
 		addr:     env.Addr(ln.Addr().String()),
+		cfg:      cfg,
 		ln:       ln,
-		inbox:    make(chan func(), 4096),
+		inbox:    make(chan func(), cfg.InboxLen),
 		rng:      rand.New(rand.NewSource(seed)),
 		peers:    make(map[env.Addr]*peer),
 		accepted: make(map[net.Conn]bool),
 		done:     make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 	n.wg.Add(2)
 	go n.loop()
@@ -84,6 +209,18 @@ func (n *Node) Now() time.Time { return time.Now() }
 // Rand implements env.Env. Unlike the simulator, callbacks can race with
 // the application goroutine, so access is serialized.
 func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Stats returns a snapshot of the transport counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		FramesSent:  n.framesSent.Load(),
+		BatchesSent: n.batchesSent.Load(),
+		BytesSent:   n.bytesSent.Load(),
+		FramesRecv:  n.framesRecv.Load(),
+		BytesRecv:   n.bytesRecv.Load(),
+		Drops:       n.drops.Load(),
+	}
+}
 
 // After implements env.Env: the callback is posted to the node's event
 // loop.
@@ -133,15 +270,37 @@ func (n *Node) Send(to env.Addr, m env.Message) {
 	}
 	p, err := n.peer(to)
 	if err != nil {
+		n.drops.Add(1)
 		return
 	}
 	select {
+	case <-p.dead:
+		// Teardown already drained the queue; enqueueing now would lose
+		// the frame uncounted.
+		n.drops.Add(1)
 	case p.out <- &frame{From: n.addr, Msg: m}:
+		// The enqueue can race teardown: if dead was already closed the
+		// drain may have finished before our frame landed. Pull one
+		// frame back and count it; if the queue is empty the drain saw
+		// ours and counted it. Either way every frame is accounted.
+		select {
+		case <-p.dead:
+			select {
+			case <-p.out:
+				n.drops.Add(1)
+			default:
+			}
+		default:
+		}
 	default:
 		// Queue full: drop, as a congested datagram network would.
+		n.drops.Add(1)
 	}
 }
 
+// peer returns the cached peer for to, creating it (and its writer
+// goroutine, which dials asynchronously) on first use. It never blocks
+// on the network: frames queue while the dial is in flight.
 func (n *Node) peer(to env.Addr) (*peer, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -153,37 +312,350 @@ func (n *Node) peer(to env.Addr) (*peer, error) {
 		return nil, errors.New("realnet: node closed")
 	default:
 	}
-	conn, err := net.DialTimeout("tcp", string(to), 5*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	p := &peer{out: make(chan *frame, 1024), conn: conn}
+	p := &peer{out: make(chan *frame, n.cfg.OutboxLen), dead: make(chan struct{})}
 	n.peers[to] = p
 	n.wg.Add(1)
 	go n.writer(to, p)
 	return p, nil
 }
 
+// frameWriter buffers encoded frames and flushes them as one write.
+// appendFrame reports ok=false for a frame that could not be encoded
+// (dropped); a non-nil error poisons the stream and kills the
+// connection.
+type frameWriter interface {
+	appendFrame(f *frame) (ok bool, err error)
+	buffered() int
+	flush() (bytes int, err error)
+}
+
+// retainBytes caps how much buffer capacity the per-peer writer and
+// per-connection reader keep between frames: one near-MaxFrameBytes
+// message must not pin tens of megabytes per peer for the lifetime of a
+// connection that otherwise carries tiny soft-state traffic.
+const retainBytes = 1 << 20
+
+// shrink returns the buffer emptied, dropping it entirely when its
+// high-water capacity exceeds retainBytes.
+func shrink(buf []byte) []byte {
+	if cap(buf) > retainBytes {
+		return nil
+	}
+	return buf[:0]
+}
+
+// binaryWriter frames with the wire codec: uvarint payload length, then
+// sender address, then the tagged message.
+type binaryWriter struct {
+	conn    net.Conn
+	max     int
+	buf     []byte
+	scratch []byte
+}
+
+func (w *binaryWriter) appendFrame(f *frame) (bool, error) {
+	e := wire.NewEncoder(w.scratch[:0])
+	e.Addr(f.From)
+	e.Message(f.Msg)
+	payload := e.Bytes()
+	w.scratch = shrink(payload) // recycle the buffer for the next frame
+	if e.Err() != nil {
+		return false, nil // unencodable message: drop the frame, keep the stream
+	}
+	if len(payload) > w.max {
+		return false, nil // oversized: the receiver would reject it anyway
+	}
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(payload)))
+	w.buf = append(w.buf, payload...)
+	return true, nil
+}
+
+func (w *binaryWriter) buffered() int { return len(w.buf) }
+
+func (w *binaryWriter) flush() (int, error) {
+	if len(w.buf) == 0 {
+		return 0, nil
+	}
+	bytes, err := w.conn.Write(w.buf)
+	w.buf = shrink(w.buf)
+	return bytes, err
+}
+
+// gobWriter streams frames through one persistent gob encoder into a
+// buffered writer; a flush per batch preserves the batching semantics.
+type gobWriter struct {
+	cw  *countingWriter
+	bw  *bufio.Writer
+	enc *gob.Encoder
+	// last is cw.n at the previous flush; the delta per flush also
+	// captures bytes bufio pushed out mid-batch when its buffer filled.
+	last uint64
+}
+
+func newGobWriter(conn net.Conn) *gobWriter {
+	cw := &countingWriter{w: conn}
+	bw := bufio.NewWriter(cw)
+	return &gobWriter{cw: cw, bw: bw, enc: gob.NewEncoder(bw)}
+}
+
+func (w *gobWriter) appendFrame(f *frame) (bool, error) {
+	// A gob encode error may leave partial data in the stream, so it is
+	// fatal to the connection — the pre-codec transport behaved the same.
+	if err := w.enc.Encode(f); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// buffered reports the bytes accumulated in the current batch,
+// including what bufio already auto-flushed to the socket when its
+// 4 KiB internal buffer filled — otherwise MaxBatchBytes could never
+// trigger for gob and one batch could span the whole queue.
+func (w *gobWriter) buffered() int {
+	return int(w.cw.n-w.last) + w.bw.Buffered()
+}
+
+func (w *gobWriter) flush() (int, error) {
+	err := w.bw.Flush()
+	bytes := int(w.cw.n - w.last)
+	w.last = w.cw.n
+	return bytes, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+func (n *Node) newFrameWriter(conn net.Conn) frameWriter {
+	if n.cfg.Codec == CodecGob {
+		return newGobWriter(conn)
+	}
+	return &binaryWriter{conn: conn, max: n.cfg.MaxFrameBytes}
+}
+
+// writer dials the peer and drains its outbound queue into batched
+// writes. On any exit it unregisters the peer and counts every frame
+// still queued as a drop, so Stats reconcile.
 func (n *Node) writer(to env.Addr, p *peer) {
 	defer n.wg.Done()
-	enc := gob.NewEncoder(p.conn)
+	teardown := func() {
+		n.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		if n.peers[to] == p {
+			delete(n.peers, to)
+		}
+		n.mu.Unlock()
+		close(p.dead)
+		for {
+			select {
+			case <-p.out:
+				n.drops.Add(1)
+			default:
+				return
+			}
+		}
+	}
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(n.ctx, "tcp", string(to))
+	if err != nil {
+		teardown()
+		return
+	}
+	n.mu.Lock()
+	p.conn = conn
+	n.mu.Unlock()
+	select {
+	case <-n.done:
+		// Closed while dialing: Close() may have missed the conn.
+		teardown()
+		return
+	default:
+	}
+	fw := n.newFrameWriter(conn)
 	for {
 		select {
 		case f := <-p.out:
-			if err := enc.Encode(f); err != nil {
-				p.conn.Close()
-				n.mu.Lock()
-				if n.peers[to] == p {
-					delete(n.peers, to)
-				}
-				n.mu.Unlock()
+			frames, fatal := n.fillBatch(fw, f, p)
+			if fatal {
+				// A poisoned stream (gob encode error) must not flush:
+				// the batch's frames were never delivered, so they are
+				// drops, and partial encoder output must not reach the
+				// peer.
+				n.drops.Add(uint64(frames))
+				teardown()
 				return
 			}
+			bytes, err := fw.flush()
+			n.bytesSent.Add(uint64(bytes))
+			if err != nil {
+				// Frames of a failed batch may be partially on the wire;
+				// count them all as drops — fire-and-forget either way.
+				n.drops.Add(uint64(frames))
+				teardown()
+				return
+			}
+			if frames > 0 {
+				n.framesSent.Add(uint64(frames))
+				n.batchesSent.Add(1)
+			}
 		case <-n.done:
-			p.conn.Close()
+			teardown()
 			return
 		}
 	}
+}
+
+// fillBatch encodes f and keeps draining the queue until the batch is
+// full, the queue is empty (plus the optional MaxBatchDelay grace), or
+// the node shuts down. It reports how many frames entered the batch and
+// whether the stream was poisoned.
+func (n *Node) fillBatch(fw frameWriter, f *frame, p *peer) (frames int, fatal bool) {
+	appendOne := func(f *frame) bool {
+		ok, err := fw.appendFrame(f)
+		if err != nil {
+			// The frame that poisoned the stream is itself discarded;
+			// frames already in the batch are counted by the caller.
+			n.drops.Add(1)
+			fatal = true
+			return false
+		}
+		if !ok {
+			n.drops.Add(1)
+			return true
+		}
+		frames++
+		return true
+	}
+	if !appendOne(f) || n.cfg.NoBatch {
+		return frames, fatal
+	}
+	var deadline <-chan time.Time
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for fw.buffered() < n.cfg.MaxBatchBytes {
+		select {
+		case f2 := <-p.out:
+			if !appendOne(f2) {
+				return frames, fatal
+			}
+		default:
+			if n.cfg.MaxBatchDelay <= 0 {
+				return frames, fatal
+			}
+			if timer == nil {
+				timer = time.NewTimer(n.cfg.MaxBatchDelay)
+				deadline = timer.C
+			}
+			select {
+			case f2 := <-p.out:
+				if !appendOne(f2) {
+					return frames, fatal
+				}
+			case <-deadline:
+				return frames, fatal
+			case <-n.done:
+				return frames, fatal
+			}
+		}
+	}
+	return frames, fatal
+}
+
+// frameReader decodes one frame per call; any error ends the connection.
+type frameReader interface {
+	readFrame() (*frame, int, error)
+}
+
+type binaryReader struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+func (r *binaryReader) readFrame() (*frame, int, error) {
+	length, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, 0, err
+	}
+	if length > uint64(r.max) {
+		return nil, 0, fmt.Errorf("realnet: frame of %d bytes exceeds cap %d", length, r.max)
+	}
+	if uint64(cap(r.buf)) < length {
+		r.buf = make([]byte, length)
+	}
+	buf := r.buf[:length]
+	r.buf = shrink(r.buf) // large frames must not pin capacity forever
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, 0, err
+	}
+	d := wire.NewDecoder(buf)
+	f := &frame{From: d.Addr()}
+	f.Msg = d.Message()
+	if err := d.Err(); err != nil {
+		return nil, 0, err
+	}
+	if left := d.Remaining(); left != 0 {
+		// A valid message followed by garbage means the stream is
+		// desynced or the sender is corrupt; delivering would mask it.
+		return nil, 0, fmt.Errorf("realnet: %d trailing bytes in frame", left)
+	}
+	n := len(buf) + uvarintLen(length)
+	return f, n, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+type gobReader struct {
+	cr  *countingReader
+	dec *gob.Decoder
+}
+
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+func (r *gobReader) readFrame() (*frame, int, error) {
+	before := r.cr.n
+	var f frame
+	if err := r.dec.Decode(&f); err != nil {
+		return nil, 0, err
+	}
+	return &f, int(r.cr.n - before), nil
+}
+
+func (n *Node) newFrameReader(conn net.Conn) frameReader {
+	if n.cfg.Codec == CodecGob {
+		cr := &countingReader{r: conn}
+		return &gobReader{cr: cr, dec: gob.NewDecoder(bufio.NewReader(cr))}
+	}
+	return &binaryReader{br: bufio.NewReader(conn), max: n.cfg.MaxFrameBytes}
 }
 
 func (n *Node) accept() {
@@ -209,12 +681,17 @@ func (n *Node) reader(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	fr := n.newFrameReader(conn)
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		f, bytes, err := fr.readFrame()
+		if err != nil {
+			// Truncated, malformed, or oversized input: drop the
+			// connection. The peer re-dials; lost messages are soft
+			// state.
 			return
 		}
+		n.framesRecv.Add(1)
+		n.bytesRecv.Add(uint64(bytes))
 		n.Post(func() {
 			if n.handler != nil {
 				n.handler.HandleMessage(f.From, f.Msg)
@@ -247,10 +724,13 @@ func (n *Node) loop() {
 func (n *Node) Close() {
 	n.closeOnce.Do(func() {
 		close(n.done)
+		n.cancel() // abort in-flight dials
 		n.ln.Close()
 		n.mu.Lock()
 		for _, p := range n.peers {
-			p.conn.Close()
+			if p.conn != nil {
+				p.conn.Close()
+			}
 		}
 		for c := range n.accepted {
 			c.Close()

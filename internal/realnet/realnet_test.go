@@ -8,13 +8,19 @@ import (
 
 	"pier/internal/dht/can"
 	"pier/internal/env"
+	"pier/internal/wire"
 )
 
 type echoMsg struct{ N int }
 
 func (m *echoMsg) WireSize() int { return 16 }
 
-func init() { gob.Register(&echoMsg{}) }
+func init() {
+	gob.Register(&echoMsg{})
+	wire.Register(201, &echoMsg{},
+		func(e *wire.Encoder, m env.Message) { e.Int(m.(*echoMsg).N) },
+		func(d *wire.Decoder) env.Message { return &echoMsg{N: d.Int()} })
+}
 
 func TestFrameRoundTrip(t *testing.T) {
 	a, err := Listen("127.0.0.1:0", 1)

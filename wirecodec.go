@@ -1,0 +1,34 @@
+package pier
+
+// Binary wire codec for the catalog's schema payload (the only message
+// type owned by the root package).
+
+import (
+	"pier/internal/env"
+	"pier/internal/wire"
+)
+
+const tagSchemaPayload byte = 90
+
+func init() {
+	wire.Register(tagSchemaPayload, &schemaPayload{},
+		func(e *wire.Encoder, m env.Message) {
+			s := m.(*schemaPayload)
+			e.Len(len(s.Cols))
+			for _, c := range s.Cols {
+				e.String(c)
+			}
+			e.String(s.Key)
+		},
+		func(d *wire.Decoder) env.Message {
+			s := &schemaPayload{}
+			if n := d.Len(); n > 0 {
+				s.Cols = make([]string, 0, wire.SliceCap(n))
+				for i := 0; i < n && d.Err() == nil; i++ {
+					s.Cols = append(s.Cols, d.String())
+				}
+			}
+			s.Key = d.String()
+			return s
+		})
+}

@@ -1,0 +1,24 @@
+package pier
+
+import (
+	"math/rand"
+	"testing"
+
+	"pier/internal/env"
+	"pier/internal/wire/wiretest"
+)
+
+func TestSchemaPayloadWireRoundTrip(t *testing.T) {
+	wiretest.RoundTrip(t, 19, 300, []wiretest.Gen{
+		{Name: "schemaPayload", Make: func(r *rand.Rand) env.Message {
+			s := &schemaPayload{Key: wiretest.Str(r, 10)}
+			if n := r.Intn(6); n > 0 {
+				s.Cols = make([]string, n)
+				for i := range s.Cols {
+					s.Cols[i] = wiretest.Str(r, 10)
+				}
+			}
+			return s
+		}},
+	})
+}
