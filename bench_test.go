@@ -175,3 +175,13 @@ func BenchmarkEndToEndSymmetricHash(b *testing.B) {
 	}
 	_ = fmt.Sprint()
 }
+
+// BenchmarkAdaptivePlanner regenerates the adaptive-vs-fixed strategy
+// comparison: three workloads engineered so a different join strategy
+// wins each, with the statistics catalog choosing automatically.
+func BenchmarkAdaptivePlanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, _ := experiments.Adaptive(experiments.DefaultAdaptive(fullScale()))
+		t.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,123 @@
+package pier
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/topology"
+)
+
+// TestCancelStopsContinuousQuery: Cancel must kill a continuous query
+// before its TTL — no more windows are delivered, the distributed
+// executors stop their window timers, and the query's soft state stops
+// being renewed so it ages out instead of living to the TTL.
+func TestCancelStopsContinuousQuery(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ProviderConfig.ActiveExpiry = true
+	sn := NewSimNetwork(12, topology.NewFullMeshInfinite(), 31, opts)
+
+	plan := &Plan{
+		Tables:     []TableRef{{NS: "evts"}},
+		GroupBy:    []int{0},
+		Aggs:       []Aggregate{{Kind: core.Count, Col: -1}},
+		Continuous: true,
+		Every:      10 * time.Second,
+		AggWait:    4 * time.Second,
+		TTL:        10 * time.Minute, // far beyond the cancel point
+	}
+	windows := map[int]bool{}
+	id, err := sn.Nodes[0].Query(plan, func(_ *core.Tuple, w int) { windows[w] = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A steady stream of arrivals across the whole run: without the
+	// cancel, every window would produce results.
+	for i := 0; i < 30; i++ {
+		i := i
+		node := sn.Nodes[(i+2)%12]
+		sn.Net.Node((i+2)%12).After(time.Duration(2+4*i)*time.Second, func() {
+			node.Publish("evts", fmt.Sprint(i), int64(i),
+				&Tuple{Rel: "evts", Vals: []Value{"e"}}, 5*time.Minute)
+		})
+	}
+
+	sn.RunFor(25 * time.Second) // windows 0 and 1 complete
+	if !windows[0] || !windows[1] {
+		t.Fatalf("expected windows 0 and 1 before cancel, got %v", windows)
+	}
+	sn.Nodes[0].Cancel(id)
+	seenAtCancel := len(windows)
+
+	sn.RunFor(2 * time.Minute) // stream continues; query must not
+	if len(windows) != seenAtCancel {
+		t.Fatalf("windows kept arriving after cancel: %v", windows)
+	}
+
+	// The aggregation namespace stops being renewed once the flushers
+	// die; with active expiry the partials are gone well before the TTL.
+	aggNS := fmt.Sprintf("q%x.agg", id)
+	left := 0
+	for _, nd := range sn.Nodes {
+		left += nd.Provider().Store().Len(aggNS)
+	}
+	if left != 0 {
+		t.Fatalf("%d partial-aggregate items still alive after cancel", left)
+	}
+}
+
+// TestCancelOneShotStopsDelivery: cancelling a long one-shot query
+// stops result delivery at the initiator even if stragglers arrive.
+func TestCancelOneShotStopsDelivery(t *testing.T) {
+	sn := NewSimNetwork(8, topology.NewFullMesh(), 32, DefaultOptions())
+	for i := 0; i < 50; i++ {
+		sn.Load("T", fmt.Sprint(i), int64(i), &Tuple{Rel: "T", Vals: []Value{int64(i)}}, 0)
+	}
+	plan := &Plan{Tables: []TableRef{{NS: "T"}}, TTL: 10 * time.Minute}
+	rows := 0
+	id, err := sn.Nodes[0].Query(plan, func(*core.Tuple, int) { rows++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn.Nodes[0].Cancel(id) // cancel before running the network at all
+	sn.RunFor(2 * time.Minute)
+	if rows != 0 {
+		t.Fatalf("%d rows delivered after cancel", rows)
+	}
+}
+
+// TestHostileColumnIndexesDoNotPanic: plans travel over the network and
+// Validate cannot know row widths, so out-of-range column references
+// anywhere in a plan (filters, projections, join keys, aggregates,
+// output) must evaluate to nil — never index-panic the event loop.
+func TestHostileColumnIndexesDoNotPanic(t *testing.T) {
+	sn := NewSimNetwork(8, topology.NewFullMesh(), 33, DefaultOptions())
+	for i := 0; i < 20; i++ {
+		sn.Load("T", fmt.Sprint(i), int64(i),
+			&Tuple{Rel: "T", Vals: []Value{int64(i), int64(i % 3)}}, 0)
+	}
+	plans := []*Plan{
+		{Tables: []TableRef{{NS: "T",
+			Filter: &core.Cmp{Op: core.GT, L: &core.Col{Idx: 99}, R: &core.Const{V: int64(0)}}}}},
+		{Tables: []TableRef{{NS: "T", Project: []int{0, 99, -7}}}},
+		{Tables: []TableRef{{NS: "T"}},
+			Output: []core.Expr{&core.Col{Idx: -1}, &core.Col{Idx: 42}}},
+		{Tables: []TableRef{{NS: "T"}},
+			GroupBy: []int{88}, Aggs: []Aggregate{{Kind: core.Sum, Col: 77}},
+			AggWait: 5 * time.Second},
+		{Tables: []TableRef{
+			{NS: "T", JoinCols: []int{55}, RIDCol: 66},
+			{NS: "T", JoinCols: []int{44}, RIDCol: 33},
+		}, Strategy: SymmetricSemiJoin},
+	}
+	for i, p := range plans {
+		p.TTL = time.Minute
+		if _, err := sn.Nodes[i%8].Query(p, func(*core.Tuple, int) {}); err != nil {
+			t.Fatalf("plan %d rejected: %v", i, err)
+		}
+	}
+	// A panic anywhere would kill the simulation goroutine.
+	sn.RunFor(2 * time.Minute)
+}

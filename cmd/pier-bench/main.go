@@ -3,9 +3,13 @@
 // the scaled-down configurations (minutes); -full restores paper scale
 // (n = 1024 .. 10,000 — hours).
 //
+// Scenarios that support it also emit machine-readable records;
+// -json FILE collects them into a JSON array (BENCH_*.json style) so
+// per-PR performance trajectories can be tracked.
+//
 // Usage:
 //
-//	pier-bench [-full] [-only fig3,table4,...]
+//	pier-bench [-full] [-only adaptive,fig3,table4,...] [-json out.json]
 package main
 
 import (
@@ -20,7 +24,8 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale runs (slow)")
-	only := flag.String("only", "", "comma-separated subset: s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord")
+	only := flag.String("only", "", "comma-separated subset: adaptive,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord")
+	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -41,6 +46,13 @@ func main() {
 		fmt.Printf("    [%s took %v]\n", key, time.Since(start).Round(time.Millisecond))
 	}
 
+	var records []experiments.BenchRecord
+
+	run("adaptive", "Adaptive planner vs fixed join strategies", func() {
+		_, tbl, recs := experiments.Adaptive(experiments.DefaultAdaptive(*full))
+		tbl.Print(os.Stdout)
+		records = append(records, recs...)
+	})
 	run("s53", "Section 5.3 — centralized vs distributed", func() {
 		experiments.CentralizedVsDistributed(experiments.DefaultCentralized(*full)).Print(os.Stdout)
 	})
@@ -81,4 +93,21 @@ func main() {
 		}
 		experiments.ChordVsCAN(n, s, 17).Print(os.Stdout)
 	})
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pier-bench: %v\n", err)
+			os.Exit(1)
+		}
+		err = experiments.WriteBenchJSON(f, records)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pier-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d benchmark records to %s\n", len(records), *jsonPath)
+	}
 }

@@ -11,6 +11,7 @@
 //	table <name> <keycol> <col> [col...]   register a schema
 //	publish <table> <val> [val...]         publish a tuple (key = first col)
 //	sql <SELECT ...>                       run a query, print results
+//	stats [table]                          catalog/deployment/link stats
 //	info                                   node status
 //	quit
 package main
@@ -35,9 +36,13 @@ func main() {
 	join := flag.String("join", "", "landmark node to join through (empty = new network)")
 	lifetime := flag.Duration("lifetime", 10*time.Minute, "soft-state lifetime of published tuples")
 	wait := flag.Duration("wait", 5*time.Second, "how long queries collect results")
+	statsEvery := flag.Duration("stats", 10*time.Second,
+		"statistics-catalog refresh interval (0 disables the maintenance loop)")
 	flag.Parse()
 
-	node, err := pier.StartNode(*listen, env.Addr(*join), time.Now().UnixNano(), pier.DefaultOptions())
+	opts := pier.DefaultOptions()
+	opts.Stats.Interval = *statsEvery
+	node, err := pier.StartNode(*listen, env.Addr(*join), time.Now().UnixNano(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "start:", err)
 		os.Exit(1)
@@ -94,10 +99,47 @@ func main() {
 			fmt.Printf("published %s/%s\n", table, rid)
 		case fields[0] == "sql":
 			runSQL(node, cat, strings.TrimSpace(strings.TrimPrefix(line, "sql")), *wait)
+		case fields[0] == "stats":
+			showStats(node, fields[1:])
 		default:
-			fmt.Println("commands: table, publish, sql, info, quit")
+			fmt.Println("commands: table, publish, sql, stats, info, quit")
 		}
 		fmt.Print("> ")
+	}
+}
+
+// showStats prints deployment estimates, link counters, and — given a
+// table name — the catalog's rolled-up statistics for it.
+func showStats(node *pier.RealNode, args []string) {
+	node.Do(func() {
+		net := node.Stats().NetStats()
+		fmt.Printf("deployment: nodes≈%d hop=%v lookup-hops=%.2f\n",
+			net.Nodes, net.HopLatency, net.LookupHops)
+	})
+	if ls, ok := node.TransportStats(); ok {
+		fmt.Printf("link: frames=%d batches=%d bytes=%d recv-frames=%d recv-bytes=%d drops=%d\n",
+			ls.FramesSent, ls.BatchesSent, ls.BytesSent, ls.FramesRecv, ls.BytesRecv, ls.Drops)
+	}
+	if len(args) == 0 {
+		return
+	}
+	table := args[0]
+	done := make(chan struct{})
+	node.Do(func() {
+		node.Stats().Fetch(table, func(ts pier.TableStats, ok bool) {
+			if !ok {
+				fmt.Printf("%s: no statistics in the catalog (yet)\n", table)
+			} else {
+				fmt.Printf("%s: tuples=%.0f avg-bytes=%.0f distinct-keys≈%.0f\n",
+					table, ts.Tuples, ts.TupleBytes, ts.DistinctJoinKeys)
+			}
+			close(done)
+		})
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		fmt.Println("stats fetch timed out")
 	}
 }
 
@@ -127,6 +169,11 @@ func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duratio
 	if err != nil {
 		fmt.Println("error:", err)
 		return
+	}
+	if plan.AutoStrategy && len(plan.Tables) == 2 {
+		// QuerySync resolved the strategy on the event loop (catalog
+		// choice, or the default if the catalog is cold).
+		fmt.Printf("(strategy: %v)\n", plan.Strategy)
 	}
 	deadline := time.After(wait)
 	n := 0

@@ -29,6 +29,29 @@ func DefaultConfig() Config {
 // 0 for one-shot queries and the window index for continuous ones.
 type ResultFunc func(t *Tuple, window int)
 
+// Observer receives the observed result cardinality of one query window
+// at the initiator, after the window closes (next window's first result,
+// cancel, or the query's TTL). The statistics catalog registers one to
+// correct stale selectivity estimates with measured outcomes.
+type Observer func(p *Plan, window, count int)
+
+// collector is the initiator-side state of one running query: the
+// application callback plus the per-window result counts the observer
+// is fed from. Counts are kept per window because resultMsgs from
+// different nodes interleave — a late window-w straggler can arrive
+// after window w+1 opened.
+type collector struct {
+	fn     ResultFunc
+	plan   *Plan
+	counts map[int]int
+	maxW   int
+	// closed is the lowest window not yet reported to the observer;
+	// stragglers below it still reach the application callback but are
+	// no longer counted, keeping the observer exactly-once per window.
+	closed int
+	ttl    env.Timer
+}
+
 // Engine is the per-node PIER query processor. One instance runs on
 // every participating node; any node can initiate queries.
 type Engine struct {
@@ -37,9 +60,21 @@ type Engine struct {
 	cfg  Config
 
 	execs      map[uint64]*exec
-	collectors map[uint64]ResultFunc
+	collectors map[uint64]*collector
+	obs        Observer
 	nodeIID    int64
+
+	// cancelled remembers recently cancelled query ids (bounded FIFO):
+	// the cancel and query multicasts are independent best-effort
+	// floods, so a node can see the cancel first — or see the query
+	// again via a slower flood path — and must not start a cancelled
+	// executor that would then live to its TTL.
+	cancelled   map[uint64]bool
+	cancelOrder []uint64
 }
+
+// cancelMemo bounds the remembered cancelled-id set.
+const cancelMemo = 128
 
 // New creates the engine and hooks it into the provider's multicast
 // delivery. The caller routes non-DHT messages through HandleMessage.
@@ -53,7 +88,8 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 		prov:       prov,
 		cfg:        cfg,
 		execs:      make(map[uint64]*exec),
-		collectors: make(map[uint64]ResultFunc),
+		collectors: make(map[uint64]*collector),
+		cancelled:  make(map[uint64]bool),
 		nodeIID:    int64(binary.BigEndian.Uint64(h[:8]) >> 1),
 	}
 	prov.OnMulticast(eng.onMulticast)
@@ -63,6 +99,10 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 // Provider returns the provider the engine runs over.
 func (eng *Engine) Provider() *provider.Provider { return eng.prov }
 
+// SetObserver registers the cardinality-feedback sink for queries
+// initiated on this node (nil disables).
+func (eng *Engine) SetObserver(fn Observer) { eng.obs = fn }
+
 // Run validates the plan, registers the result collector, and multicasts
 // the query instructions to all nodes. It returns the query id.
 func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
@@ -70,14 +110,55 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 		return 0, err
 	}
 	id := eng.env.Rand().Uint64()
-	eng.collectors[id] = onResult
+	c := &collector{fn: onResult, plan: p, counts: make(map[int]int)}
+	eng.collectors[id] = c
+	// The distributed execution dies at the TTL; drop the collector (and
+	// report the final window) with it.
+	c.ttl = eng.env.After(p.TTL, func() { eng.closeCollector(id) })
 	eng.prov.Multicast(QueryNS, &queryMsg{ID: id, Initiator: eng.env.Addr(), Plan: p})
 	return id, nil
 }
 
-// Cancel stops delivering results for a query to this initiator.
-// Distributed query state simply ages out with its soft-state TTL.
-func (eng *Engine) Cancel(id uint64) { delete(eng.collectors, id) }
+// Cancel stops a query started on this node: the collector goes
+// immediately, and a cancel multicast tears the query's executors down
+// network-wide — window timers stop and soft state stops being renewed,
+// so the query dies now instead of at its TTL.
+func (eng *Engine) Cancel(id uint64) {
+	if _, ok := eng.collectors[id]; !ok {
+		return
+	}
+	eng.closeCollector(id)
+	eng.prov.Multicast(QueryNS, &cancelMsg{ID: id})
+}
+
+// closeCollector reports every still-open window to the observer and
+// forgets the query.
+func (eng *Engine) closeCollector(id uint64) {
+	c, ok := eng.collectors[id]
+	if !ok {
+		return
+	}
+	c.ttl.Stop()
+	delete(eng.collectors, id)
+	eng.reportWindows(c, c.maxW+1)
+}
+
+// reportWindows feeds the observer every counted window below the
+// given bound, exactly once each.
+func (eng *Engine) reportWindows(c *collector, before int) {
+	if before > c.closed {
+		c.closed = before
+	}
+	for w, n := range c.counts {
+		if w >= before {
+			continue
+		}
+		delete(c.counts, w)
+		if eng.obs != nil && n > 0 {
+			eng.obs(c.plan, w, n)
+		}
+	}
+}
 
 // HandleMessage consumes engine messages (results), returning false for
 // anything else.
@@ -86,9 +167,18 @@ func (eng *Engine) HandleMessage(from env.Addr, m env.Message) bool {
 	if !ok {
 		return false
 	}
-	if fn, ok := eng.collectors[rm.ID]; ok {
+	if c, ok := eng.collectors[rm.ID]; ok {
+		if rm.Window >= c.closed {
+			c.counts[rm.Window] += len(rm.Tuples)
+		}
+		if rm.Window > c.maxW {
+			c.maxW = rm.Window
+			// Windows more than one behind the watermark are closed;
+			// the one-window grace absorbs cross-node stragglers.
+			eng.reportWindows(c, c.maxW-1)
+		}
 		for _, t := range rm.Tuples {
-			fn(t, rm.Window)
+			c.fn(t, rm.Window)
 		}
 	}
 	return true
@@ -103,6 +193,15 @@ func (eng *Engine) onMulticast(origin env.Addr, ns string, payload env.Message) 
 		if _, running := eng.execs[m.ID]; running {
 			return
 		}
+		if eng.cancelled[m.ID] {
+			return
+		}
+		// The plan arrived over the network; a crafted or corrupt one
+		// (no tables, mismatched join columns) must be dropped here,
+		// not panic the executor on the event loop.
+		if m.Plan == nil || m.Plan.Validate() != nil {
+			return
+		}
 		ex := newExec(eng, m)
 		eng.execs[m.ID] = ex
 		ex.start()
@@ -114,5 +213,27 @@ func (eng *Engine) onMulticast(origin env.Addr, ns string, payload env.Message) 
 		if ex, ok := eng.execs[m.ID]; ok {
 			ex.onBloomDist(m)
 		}
+	case *cancelMsg:
+		eng.rememberCancelled(m.ID)
+		// The TTL timer scheduled at query arrival will fire later and
+		// find the exec gone; exec.stop is idempotent either way.
+		if ex, ok := eng.execs[m.ID]; ok {
+			ex.stop()
+			delete(eng.execs, m.ID)
+		}
+	}
+}
+
+// rememberCancelled records a cancelled query id so a late or re-flooded
+// queryMsg cannot restart it, evicting the oldest past the memo bound.
+func (eng *Engine) rememberCancelled(id uint64) {
+	if eng.cancelled[id] {
+		return
+	}
+	eng.cancelled[id] = true
+	eng.cancelOrder = append(eng.cancelOrder, id)
+	if len(eng.cancelOrder) > cancelMemo {
+		delete(eng.cancelled, eng.cancelOrder[0])
+		eng.cancelOrder = eng.cancelOrder[1:]
 	}
 }

@@ -365,7 +365,7 @@ func (ex *exec) miniScan(side int) {
 		}
 		proj := t.Project(tbl.Project)
 		key := JoinKeyString(proj, tbl.JoinCols)
-		mini := &miniTuple{Side: side, RID: ValueString(proj.Vals[tbl.RIDCol]), Key: key}
+		mini := &miniTuple{Side: side, RID: ValueString(proj.At(tbl.RIDCol)), Key: key}
 		ex.eng.prov.Put(ex.nq, ex.rehashRID(key), ex.eng.env.Rand().Int63(), mini, ex.plan.TTL)
 		return true
 	})
@@ -541,7 +541,7 @@ func (ex *exec) aggFeed(row *Tuple, w int) {
 	if !ok {
 		group := make([]Value, len(p.GroupBy))
 		for i, c := range p.GroupBy {
-			group[i] = row.Vals[c]
+			group[i] = row.At(c)
 		}
 		states := make([]*AggState, len(p.Aggs))
 		for i := range states {
@@ -551,11 +551,8 @@ func (ex *exec) aggFeed(row *Tuple, w int) {
 		ex.partials[key] = pg
 	}
 	for i, a := range p.Aggs {
-		var v Value
-		if a.Col >= 0 {
-			v = row.Vals[a.Col]
-		}
-		pg.states[i].Update(v)
+		// At returns nil for COUNT(*)'s -1 and for hostile indexes alike.
+		pg.states[i].Update(row.At(a.Col))
 	}
 	ex.dirty[key] = true
 	// Joins and streams keep feeding groups; flush periodically.
@@ -569,6 +566,23 @@ func (ex *exec) ensureFlusher() {
 		return
 	}
 	ex.flushStop = env.Every(ex.eng.env, ex.eng.cfg.AggFlushInterval, ex.flushPartials)
+}
+
+// stateLifetime bounds the query's temporary DHT state. One-shot
+// state is put once and must survive to the TTL; continuous-query
+// partials are renewed by every flush, so they only need to outlive
+// the window that consumes them — cancelling the query stops the
+// renewals and the state dies within this bound instead of at the TTL.
+func (ex *exec) stateLifetime() time.Duration {
+	p := ex.plan
+	if !p.Continuous {
+		return p.TTL
+	}
+	lt := 2 * (p.Every + p.AggWait)
+	if lt > p.TTL {
+		lt = p.TTL
+	}
+	return lt
 }
 
 // flushPartials re-puts every dirty group's partial state. The stable
@@ -589,7 +603,7 @@ func (ex *exec) flushPartials() {
 			rid = fmt.Sprintf("%s\x1e%d", key, ex.eng.nodeIID%int64(f))
 		}
 		ex.eng.prov.Put(ex.aggNS, rid, ex.eng.nodeIID,
-			&partialAgg{Window: pg.window, Group: pg.group, States: states}, ex.plan.TTL)
+			&partialAgg{Window: pg.window, Group: pg.group, States: states}, ex.stateLifetime())
 		delete(ex.dirty, key)
 	}
 }
@@ -616,7 +630,9 @@ func (ex *exec) combineLevel1(w int) {
 		}
 		c, ok := combined[it.ResourceID]
 		if !ok {
-			states := make([]*AggState, len(pa.States))
+			// Size by the plan's aggregate list, not the stored partial:
+			// partials arrive via DHT puts, so their shape is untrusted.
+			states := make([]*AggState, len(ex.plan.Aggs))
 			for i := range states {
 				states[i] = &AggState{}
 			}
@@ -624,6 +640,9 @@ func (ex *exec) combineLevel1(w int) {
 			combined[it.ResourceID] = c
 		}
 		for i, s := range pa.States {
+			if i >= len(c.states) || s == nil {
+				break
+			}
 			c.states[i].Merge(s)
 		}
 		return true
@@ -632,7 +651,7 @@ func (ex *exec) combineLevel1(w int) {
 		// Stable per-bucket iid so distinct intermediate sites (and
 		// re-combines) never collide at the root.
 		ex.eng.prov.Put(ex.aggNS, c.base, ridIID(rid),
-			&partialAgg{Window: c.window, Group: c.group, States: c.states}, ex.plan.TTL)
+			&partialAgg{Window: c.window, Group: c.group, States: c.states}, ex.stateLifetime())
 	}
 }
 
@@ -685,7 +704,9 @@ func (ex *exec) emitGroups(w int) {
 		}
 		cg, ok := groups[it.ResourceID]
 		if !ok {
-			states := make([]*AggState, len(pa.States))
+			// Size by the plan's aggregate list, not the stored partial:
+			// partials arrive via DHT puts, so their shape is untrusted.
+			states := make([]*AggState, len(ex.plan.Aggs))
 			for i := range states {
 				states[i] = &AggState{}
 			}
@@ -694,6 +715,9 @@ func (ex *exec) emitGroups(w int) {
 			order = append(order, it.ResourceID)
 		}
 		for i, s := range pa.States {
+			if i >= len(cg.states) || s == nil {
+				break
+			}
 			cg.states[i].Merge(s)
 		}
 		return true

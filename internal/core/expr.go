@@ -19,8 +19,15 @@ type Expr interface {
 // Col references a column by index.
 type Col struct{ Idx int }
 
-// Eval implements Expr.
-func (c *Col) Eval(row []Value) Value { return row[c.Idx] }
+// Eval implements Expr. Plans arrive over the network and Validate
+// cannot know row widths, so the index is untrusted: out-of-range
+// references evaluate to nil instead of panicking the event loop.
+func (c *Col) Eval(row []Value) Value {
+	if c.Idx < 0 || c.Idx >= len(row) {
+		return nil
+	}
+	return row[c.Idx]
+}
 
 // WireSize implements Expr.
 func (c *Col) WireSize() int { return 3 }

@@ -80,6 +80,19 @@ type bloomDist struct {
 // WireSize implements env.Message.
 func (m *bloomDist) WireSize() int { return 9 + m.F.WireSize() }
 
+// cancelMsg is the multicast payload that tears a query down before its
+// TTL: every node stops the query's executor — window timers, partial-
+// aggregate flushers, and newData subscriptions — so a cancelled
+// continuous query stops renewing its soft state immediately instead of
+// lingering until the TTL ages it out.
+type cancelMsg struct {
+	ID uint64
+}
+
+// WireSize implements env.Message. Like queryMsg, it rides inside the
+// multicast envelope, which already charges the transport header.
+func (m *cancelMsg) WireSize() int { return 8 }
+
 // partialAgg is one node's partial aggregation state for one group (and
 // window, for continuous queries), put into the aggregation namespace.
 type partialAgg struct {
@@ -107,6 +120,7 @@ func init() {
 	gob.Register(&miniTuple{})
 	gob.Register(&bloomPut{})
 	gob.Register(&bloomDist{})
+	gob.Register(&cancelMsg{})
 	gob.Register(&partialAgg{})
 	gob.Register(&bloom.Filter{})
 }

@@ -152,6 +152,13 @@ type Plan struct {
 	// Windows stops a continuous query after that many windows
 	// (0 = run until the query's TTL).
 	Windows int
+
+	// AutoStrategy marks a join plan whose Strategy was defaulted, not
+	// requested (SQL without a USING STRATEGY clause). The initiating
+	// node's statistics catalog may then replace Strategy with the
+	// cost-based choice before the query is disseminated; without a
+	// warmed catalog the default stands.
+	AutoStrategy bool
 }
 
 // Validate performs basic sanity checks and fills defaults.
@@ -184,6 +191,12 @@ func (p *Plan) Validate() error {
 	}
 	if p.BloomHashes <= 0 {
 		p.BloomHashes = 4
+	}
+	// The wire codec rejects filters with more hashes (no honest filter
+	// needs them); clamp here so a legal plan can never produce frames
+	// its receivers drop.
+	if p.BloomHashes > 64 {
+		p.BloomHashes = 64
 	}
 	if p.Continuous {
 		if p.Every <= 0 {

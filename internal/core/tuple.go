@@ -60,9 +60,19 @@ func (t *Tuple) Project(cols []int) *Tuple {
 	}
 	vals := make([]Value, len(cols))
 	for i, c := range cols {
-		vals[i] = t.Vals[c]
+		vals[i] = t.At(c)
 	}
 	return &Tuple{Rel: t.Rel, Vals: vals, Pad: t.Pad}
+}
+
+// At returns the i-th value, or nil when i is out of range. Column
+// indexes reach this code from network-supplied plans, so they are
+// never trusted enough to index directly on the event loop.
+func (t *Tuple) At(i int) Value {
+	if i < 0 || i >= len(t.Vals) {
+		return nil
+	}
+	return t.Vals[i]
 }
 
 // String renders the tuple for logs and examples.
@@ -115,11 +125,11 @@ func ValueString(v Value) string {
 // JoinKeyString concatenates the values of cols into a resourceID.
 func JoinKeyString(t *Tuple, cols []int) string {
 	if len(cols) == 1 {
-		return ValueString(t.Vals[cols[0]])
+		return ValueString(t.At(cols[0]))
 	}
 	parts := make([]string, len(cols))
 	for i, c := range cols {
-		parts[i] = ValueString(t.Vals[c])
+		parts[i] = ValueString(t.At(c))
 	}
 	return strings.Join(parts, "\x1f")
 }

@@ -23,6 +23,7 @@ const (
 	tagTuple
 	tagPlan
 	tagAggState
+	tagCancelMsg
 )
 
 const (
@@ -80,7 +81,7 @@ func init() {
 			e.Message(s.T)
 		},
 		func(d *wire.Decoder) env.Message {
-			return &sideTuple{Side: d.Int(), T: tupleField(d)}
+			return &sideTuple{Side: sideField(d), T: tupleField(d)}
 		})
 
 	wire.Register(tagMiniTuple, &miniTuple{},
@@ -91,7 +92,7 @@ func init() {
 			e.String(t.Key)
 		},
 		func(d *wire.Decoder) env.Message {
-			return &miniTuple{Side: d.Int(), RID: d.String(), Key: d.String()}
+			return &miniTuple{Side: sideField(d), RID: d.String(), Key: d.String()}
 		})
 
 	wire.Register(tagBloomPut, &bloomPut{},
@@ -101,7 +102,7 @@ func init() {
 			e.Message(b.F)
 		},
 		func(d *wire.Decoder) env.Message {
-			return &bloomPut{Side: d.Int(), F: filterField(d)}
+			return &bloomPut{Side: sideField(d), F: filterField(d)}
 		})
 
 	wire.Register(tagBloomDist, &bloomDist{},
@@ -112,7 +113,7 @@ func init() {
 			e.Message(b.F)
 		},
 		func(d *wire.Decoder) env.Message {
-			return &bloomDist{ID: d.Uvarint(), Side: d.Int(), F: filterField(d)}
+			return &bloomDist{ID: d.Uvarint(), Side: sideField(d), F: filterField(d)}
 		})
 
 	wire.Register(tagPartialAgg, &partialAgg{},
@@ -169,6 +170,10 @@ func init() {
 
 	wire.Register(tagPlan, &Plan{}, encodePlan, decodePlan)
 
+	wire.Register(tagCancelMsg, &cancelMsg{},
+		func(e *wire.Encoder, m env.Message) { e.Uvarint(m.(*cancelMsg).ID) },
+		func(d *wire.Decoder) env.Message { return &cancelMsg{ID: d.Uvarint()} })
+
 	wire.Register(tagAggState, &AggState{},
 		func(e *wire.Encoder, m env.Message) { encodeAggState(e, m.(*AggState)) },
 		func(d *wire.Decoder) env.Message { return decodeAggState(d) })
@@ -184,12 +189,23 @@ func init() {
 		},
 		func(d *wire.Decoder) env.Message {
 			f := &bloom.Filter{K: d.Int()}
+			// Validated plans keep K within [1, 64] (Plan.Validate clamps
+			// BloomHashes) and bloom.New never allocates an empty bit
+			// array; a frame claiming otherwise would divide by zero (or
+			// spin for 2^60 hashes) inside Test/Add on the event loop.
+			if d.Err() == nil && (f.K < 1 || f.K > 64) {
+				d.Fail("bloom filter hash count out of range")
+				return f
+			}
 			// Fixed 8-byte words: LenMin bounds the allocation exactly.
 			if n := d.LenMin(8); n > 0 {
 				f.Bits = make([]uint64, n)
 				for i := range f.Bits {
 					f.Bits[i] = d.Fixed64()
 				}
+			}
+			if len(f.Bits) == 0 && d.Err() == nil {
+				d.Fail("empty bloom filter")
 			}
 			return f
 		})
@@ -252,6 +268,7 @@ func encodePlan(e *wire.Encoder, m env.Message) {
 	e.Bool(p.Continuous)
 	e.Duration(p.Every)
 	e.Int(p.Windows)
+	e.Bool(p.AutoStrategy)
 }
 
 func decodePlan(d *wire.Decoder) env.Message {
@@ -293,6 +310,7 @@ func decodePlan(d *wire.Decoder) env.Message {
 	p.Continuous = d.Bool()
 	p.Every = d.Duration()
 	p.Windows = d.Int()
+	p.AutoStrategy = d.Bool()
 	return p
 }
 
@@ -389,6 +407,17 @@ func decodeInts(d *wire.Decoder) []int {
 		xs = append(xs, d.Int())
 	}
 	return xs
+}
+
+// sideField reads a join-side index, rejecting frames whose side is not
+// 0 or 1 — executor code indexes plan.Tables (and fixed-size arrays)
+// with it.
+func sideField(d *wire.Decoder) int {
+	s := d.Int()
+	if d.Err() == nil && (s < 0 || s > 1) {
+		d.Fail("join side out of range")
+	}
+	return s
 }
 
 // exprField decodes a nested expression written with Encoder.Message;

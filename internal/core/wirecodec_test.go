@@ -131,6 +131,7 @@ func randPlan(r *rand.Rand) *Plan {
 	}
 	p.ComputeNodes = r.Intn(64)
 	p.AggFanout = r.Intn(8)
+	p.AutoStrategy = r.Intn(2) == 0
 	if r.Intn(4) == 0 {
 		p.Continuous = true
 		p.Every = time.Duration(1 + r.Int31())
@@ -186,6 +187,9 @@ func TestWireRoundTrip(t *testing.T) {
 			}
 			return m
 		}},
+		{Name: "cancelMsg", Make: func(r *rand.Rand) env.Message {
+			return &cancelMsg{ID: r.Uint64()}
+		}},
 		{Name: "Tuple", Make: func(r *rand.Rand) env.Message { return randTuple(r) }},
 		{Name: "Plan", Make: func(r *rand.Rand) env.Message { return randPlan(r) }},
 		{Name: "AggState", Make: func(r *rand.Rand) env.Message { return randAggState(r) }},
@@ -202,7 +206,7 @@ func TestWireExtremeValues(t *testing.T) {
 	msgs := []env.Message{
 		&Tuple{Rel: "r", Vals: []Value{int64(math.MinInt64), int64(math.MaxInt64), math.Inf(1), "", nil}},
 		&AggState{Count: math.MaxInt64, SumI: math.MinInt64, SumF: math.Inf(-1), Seen: true, MinV: int64(math.MinInt64), MaxV: int64(math.MaxInt64)},
-		&miniTuple{Side: -1, RID: "", Key: ""},
+		&miniTuple{Side: 1, RID: "", Key: ""},
 		&queryMsg{ID: math.MaxUint64, Initiator: "203.0.113.7:65535", Plan: &Plan{}},
 	}
 	for i, m := range msgs {
@@ -218,6 +222,39 @@ func TestWireExtremeValues(t *testing.T) {
 			t.Fatalf("#%d: round trip\n got %#v\nwant %#v", i, got, m)
 		}
 	}
+}
+
+// TestHostileFieldValuesRejected: values a correct sender can never
+// produce but whose acceptance would panic or wedge the executor —
+// join sides outside {0, 1} (used to index plan.Tables), Bloom filters
+// with a zero-length bit array (divide by zero in Test/Add) or an
+// absurd hash count (CPU wedge) — must fail the frame at decode.
+func TestHostileFieldValuesRejected(t *testing.T) {
+	reject := func(name string, m env.Message, fix func(b []byte) []byte) {
+		b, err := wire.Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: Marshal: %v", name, err)
+		}
+		if fix != nil {
+			b = fix(b)
+		}
+		if _, err := wire.Unmarshal(b); err == nil {
+			t.Errorf("%s: hostile frame accepted", name)
+		}
+	}
+	reject("sideTuple side=7", nil, func([]byte) []byte {
+		b, _ := wire.Marshal(&sideTuple{Side: 0, T: &Tuple{Rel: "r"}})
+		b[1] = 14 // zigzag(7) overwrites the side varint
+		return b
+	})
+	reject("miniTuple side=-1", nil, func([]byte) []byte {
+		b, _ := wire.Marshal(&miniTuple{Side: 0})
+		b[1] = 1 // zigzag(-1)
+		return b
+	})
+	reject("bloom filter K=0", &bloomPut{Side: 0, F: &bloom.Filter{K: 0, Bits: []uint64{1}}}, nil)
+	reject("bloom filter K=2^60", &bloomPut{Side: 0, F: &bloom.Filter{K: 1 << 60, Bits: []uint64{1}}}, nil)
+	reject("bloom filter empty bits", &bloomDist{ID: 1, Side: 1, F: &bloom.Filter{K: 4}}, nil)
 }
 
 // TestNilRequiredFieldsRejected: tag 0 in handler-dereferenced

@@ -159,6 +159,22 @@ func (r *Router) LookupStats() (count, hops int64) { return r.LookupCount, r.Loo
 // after a takeover).
 func (r *Router) Zones() []Zone { return r.zones }
 
+// EstimateNodes estimates the overlay size from the node's own share of
+// the coordinate space: with n nodes splitting the space, each owns
+// ~1/n of the total volume. The statistics catalog feeds this to the
+// optimizer's NetStats without any global census.
+func (r *Router) EstimateNodes() int {
+	v := TotalVolume(r.zones)
+	if v <= 0 || v > 1 {
+		return 1
+	}
+	n := int(1/v + 0.5)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 // Ready implements dht.Router.
 func (r *Router) Ready() bool { return r.joined && len(r.zones) > 0 }
 

@@ -125,6 +125,37 @@ func (r *Router) ID() uint64 { return r.id }
 // can.Router.LookupStats.
 func (r *Router) LookupStats() (count, hops int64) { return r.LookupCount, r.LookupHops }
 
+// EstimateNodes estimates the ring size from successor-list density:
+// the list's k entries span a ring arc of length gap, so with uniform
+// ids n ≈ k × 2^64 / gap. In rings no larger than the successor list
+// the list wraps back to this node, and the ring size is simply the
+// number of distinct nodes seen. The statistics catalog feeds this to
+// the optimizer's NetStats without any global census.
+func (r *Router) EstimateNodes() int {
+	if len(r.succs) == 0 {
+		return 1
+	}
+	distinct := map[uint64]bool{r.id: true}
+	for _, s := range r.succs {
+		if s.id == r.id {
+			// Wrapped past ourselves: the list covers the whole ring.
+			return len(distinct)
+		}
+		distinct[s.id] = true
+	}
+	last := r.succs[len(r.succs)-1]
+	gap := last.id - r.id // ring distance, wrap via uint64 arithmetic
+	if gap == 0 {
+		return len(distinct)
+	}
+	frac := float64(gap) / (1 << 63) / 2
+	n := int(float64(len(r.succs))/frac + 0.5)
+	if n < len(distinct) {
+		n = len(distinct)
+	}
+	return n
+}
+
 // Ready implements dht.Router.
 func (r *Router) Ready() bool { return r.joined }
 

@@ -2,6 +2,7 @@ package chord
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -191,5 +192,38 @@ func TestFailureFailover(t *testing.T) {
 func TestIDOfDeterministic(t *testing.T) {
 	if IDOf("a") != IDOf("a") || IDOf("a") == IDOf("b") {
 		t.Fatal("IDOf must be a deterministic hash")
+	}
+}
+
+// TestEstimateNodesSmallAndLargeRings: small bootstrapped rings wrap
+// the successor list past the node itself and must report the exact
+// ring size, not 1; larger rings estimate from successor density.
+func TestEstimateNodesSmallAndLargeRings(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		tn := newTestNet(t, n, DefaultConfig())
+		Bootstrap(tn.routers)
+		for i, r := range tn.routers {
+			if got := r.EstimateNodes(); got != n {
+				t.Fatalf("n=%d: router %d estimates %d", n, i, got)
+			}
+		}
+	}
+	// Density regime: per-node estimates carry ~1/sqrt(k) noise, so
+	// assert the median across the ring lands within 2x of the truth
+	// and every node at least knows it is not alone.
+	const n = 64
+	tn := newTestNet(t, n, DefaultConfig())
+	Bootstrap(tn.routers)
+	ests := make([]int, 0, n)
+	for i, r := range tn.routers {
+		got := r.EstimateNodes()
+		if got <= len(r.succs)/2 {
+			t.Fatalf("n=%d: router %d estimates %d despite %d live successors", n, i, got, len(r.succs))
+		}
+		ests = append(ests, got)
+	}
+	sort.Ints(ests)
+	if med := ests[n/2]; med < n/2 || med > 2*n {
+		t.Fatalf("n=%d: median estimate %d, want within 2x", n, med)
 	}
 }

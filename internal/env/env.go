@@ -66,6 +66,33 @@ type Env interface {
 	Rand() *rand.Rand
 }
 
+// LinkStats is a snapshot of a transport's link counters. The real TCP
+// transport fills every field; environments without a physical link (the
+// simulator) report nothing. Operators and the statistics catalog's
+// deployment probe read these through the node-level accessor instead of
+// reaching into the transport.
+type LinkStats struct {
+	// FramesSent counts messages handed to the socket; BatchesSent
+	// counts write calls (FramesSent/BatchesSent is the coalescing
+	// factor of the per-peer write batching).
+	FramesSent  uint64
+	BatchesSent uint64
+	// BytesSent counts bytes written, framing included.
+	BytesSent uint64
+	// FramesRecv and BytesRecv count the inbound direction.
+	FramesRecv uint64
+	BytesRecv  uint64
+	// Drops counts messages discarded: full outbound queues, encoding
+	// failures, and frames lost when a connection died mid-batch.
+	Drops uint64
+}
+
+// LinkStatsProvider is the optional Env refinement transports with real
+// link counters implement.
+type LinkStatsProvider interface {
+	LinkStats() LinkStats
+}
+
 // Handler receives messages delivered to a node. A node registers exactly
 // one handler with its transport before any messages flow.
 type Handler interface {

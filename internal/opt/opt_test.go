@@ -149,3 +149,95 @@ func TestBloomFPBounds(t *testing.T) {
 		t.Fatalf("saturated filter should approach fp=1, got %f", fp)
 	}
 }
+
+// --- edge cases ---------------------------------------------------------
+
+func TestChooseZeroCardinalityTables(t *testing.T) {
+	// An empty catalog entry (both relations at zero tuples) must not
+	// produce NaN costs or an infeasible pick: every strategy's traffic
+	// degenerates to its fixed overhead and Choose still returns a
+	// feasible strategy.
+	j := JoinStats{Left: TableStats{}, Right: TableStats{}}
+	s, ests := Choose(j, paperNet(), MinTraffic)
+	if len(ests) != 4 {
+		t.Fatalf("estimates = %d, want 4", len(ests))
+	}
+	for _, e := range ests {
+		if e.TrafficBytes != e.TrafficBytes || e.TrafficBytes < 0 {
+			t.Fatalf("%v: traffic %v not a finite non-negative cost", e.Strategy, e.TrafficBytes)
+		}
+		if e.Latency < 0 {
+			t.Fatalf("%v: negative latency %v", e.Strategy, e.Latency)
+		}
+	}
+	picked := byStrategy(ests)[s]
+	if !picked.Feasible {
+		t.Fatalf("chose infeasible strategy %v", s)
+	}
+	// Fetch Matches needs the inner table hashed on the join attribute,
+	// which the zero value does not claim.
+	if s == core.FetchMatches {
+		t.Fatalf("fetch matches chosen without its precondition")
+	}
+}
+
+func TestChooseObjectivesDisagree(t *testing.T) {
+	// Bloom's collector gather window is pure latency but saves rehash
+	// bytes; with a long wait and highly selective matches the two
+	// objectives must pick different strategies, and each pick must be
+	// optimal under its own metric among feasible strategies.
+	j := workloadStats(1000, 0.5)
+	j.Left.HashedOnJoinAttr = false
+	j.Right.HashedOnJoinAttr = false // rules fetch matches out
+	j.MatchFraction = 0.02
+	net := paperNet()
+	net.BloomWait = 2 * time.Minute
+	sTraffic, estsTraffic := Choose(j, net, MinTraffic)
+	sLatency, estsLatency := Choose(j, net, MinLatency)
+	if sTraffic == sLatency {
+		t.Fatalf("objectives agree on %v; operating point should separate them", sTraffic)
+	}
+	mt := byStrategy(estsTraffic)
+	ml := byStrategy(estsLatency)
+	for s, e := range mt {
+		if e.Feasible && e.TrafficBytes < mt[sTraffic].TrafficBytes {
+			t.Errorf("MinTraffic picked %v but %v moves fewer bytes", sTraffic, s)
+		}
+	}
+	for s, e := range ml {
+		if e.Feasible && e.Latency < ml[sLatency].Latency {
+			t.Errorf("MinLatency picked %v but %v finishes sooner", sLatency, s)
+		}
+	}
+}
+
+func TestChooseSingleNodeDeployment(t *testing.T) {
+	// A one-node "network" still costs out: no strategy may be priced
+	// below zero, estimates stay finite, and the pick is feasible.
+	j := workloadStats(100, 0.5)
+	net := NetStats{Nodes: 1, HopLatency: time.Millisecond}
+	s, ests := Choose(j, net, MinLatency)
+	if !byStrategy(ests)[s].Feasible {
+		t.Fatalf("chose infeasible strategy %v", s)
+	}
+	for _, e := range ests {
+		if e.TrafficBytes != e.TrafficBytes || e.TrafficBytes < 0 || e.Latency < 0 {
+			t.Fatalf("%v: degenerate cost (%v bytes, %v)", e.Strategy, e.TrafficBytes, e.Latency)
+		}
+	}
+}
+
+func TestChooseInfeasibleRanksLast(t *testing.T) {
+	// Even when fetch matches would be by far the cheapest, an unmet
+	// precondition must keep it out of the pick.
+	j := workloadStats(1000, 0.5)
+	j.Right.HashedOnJoinAttr = false
+	s, ests := Choose(j, paperNet(), MinTraffic)
+	if s == core.FetchMatches {
+		t.Fatal("picked fetch matches despite unmet precondition")
+	}
+	last := ests[len(ests)-1]
+	if last.Feasible || last.Strategy != core.FetchMatches {
+		t.Fatalf("infeasible strategy not ranked last: %+v", ests)
+	}
+}

@@ -102,23 +102,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a snapshot of the transport counters.
-type Stats struct {
-	// FramesSent counts messages handed to the socket (self-sends are
-	// delivered in-process and not counted).
-	FramesSent uint64
-	// BatchesSent counts write calls; FramesSent/BatchesSent is the
-	// coalescing factor.
-	BatchesSent uint64
-	// BytesSent counts bytes written, framing included.
-	BytesSent uint64
-	// FramesRecv and BytesRecv count the inbound direction.
-	FramesRecv uint64
-	BytesRecv  uint64
-	// Drops counts messages discarded: full outbound queues, encoding
-	// failures, and frames lost when a connection died mid-batch.
-	Drops uint64
-}
+// Stats is a snapshot of the transport counters. It is exactly the
+// env.LinkStats shape so the layers above can read it without an
+// internal/realnet import (self-sends are delivered in-process and not
+// counted in FramesSent).
+type Stats = env.LinkStats
 
 // frame is the on-wire unit: the sender's address and one message.
 type frame struct {
@@ -221,6 +209,11 @@ func (n *Node) Stats() Stats {
 		Drops:       n.drops.Load(),
 	}
 }
+
+// LinkStats implements env.LinkStatsProvider, exposing the transport
+// counters to the layers above (pier.Node's accessor, the statistics
+// catalog's deployment probe) without an internal/realnet import.
+func (n *Node) LinkStats() env.LinkStats { return n.Stats() }
 
 // After implements env.Env: the callback is posted to the node's event
 // loop.

@@ -126,6 +126,12 @@ func (p *planner) lower() (*core.Plan, error) {
 			return nil, err
 		}
 		plan.Strategy = s
+	} else if len(plan.Tables) == 2 {
+		// No USING STRATEGY clause: mark the join so the initiating
+		// node's statistics catalog may substitute the cost-based choice
+		// (§7 "Catalogs and Query Optimization"). The default strategy
+		// stands wherever no catalog answers.
+		plan.AutoStrategy = true
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, err

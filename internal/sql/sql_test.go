@@ -296,3 +296,30 @@ func TestUnsupportedMultiwayJoinRejected(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestPlanMarksAutoStrategy(t *testing.T) {
+	// A join with no USING STRATEGY is the optimizer's to decide.
+	p, err := Plan(`SELECT R.pkey FROM R, S WHERE R.num1 = S.pkey`, testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AutoStrategy {
+		t.Fatal("join without USING STRATEGY must be marked AutoStrategy")
+	}
+	// An explicit clause pins the choice.
+	p, err = Plan(`SELECT R.pkey FROM R, S WHERE R.num1 = S.pkey USING STRATEGY 'bloom'`, testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AutoStrategy || p.Strategy != core.BloomJoin {
+		t.Fatalf("USING STRATEGY must pin: auto=%v strategy=%v", p.AutoStrategy, p.Strategy)
+	}
+	// Single-table plans have nothing to choose.
+	p, err = Plan(`SELECT * FROM intrusions`, testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AutoStrategy {
+		t.Fatal("single-table plan marked AutoStrategy")
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestSketchExactBelowK(t *testing.T) {
+	s := NewSketch(64)
+	for i := 0; i < 40; i++ {
+		s.Add(fmt.Sprintf("key-%d", i))
+		s.Add(fmt.Sprintf("key-%d", i)) // duplicates must not count
+	}
+	if got := s.Estimate(); got != 40 {
+		t.Fatalf("estimate below capacity = %v, want exactly 40", got)
+	}
+}
+
+func TestSketchEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{500, 5000, 50000} {
+		s := NewSketch(256)
+		for i := 0; i < n; i++ {
+			s.Add(fmt.Sprintf("value/%d", i))
+		}
+		got := s.Estimate()
+		if err := math.Abs(got-float64(n)) / float64(n); err > 0.15 {
+			t.Errorf("n=%d: estimate %.0f (%.1f%% error)", n, got, 100*err)
+		}
+	}
+}
+
+func TestSketchMergeMatchesUnion(t *testing.T) {
+	// Partition one key set over 10 "nodes"; merging their sketches
+	// must estimate the union, not the sum (overlapping keys included).
+	const n = 8000
+	parts := make([]*Sketch, 10)
+	for i := range parts {
+		parts[i] = NewSketch(256)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("item-%d", i)
+		parts[i%10].Add(key)
+		parts[(i+1)%10].Add(key) // every key stored on two nodes
+	}
+	merged := NewSketch(256)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	got := merged.Estimate()
+	if err := math.Abs(got-n) / n; err > 0.15 {
+		t.Fatalf("merged estimate %.0f for %d distinct keys (%.1f%% error)", got, n, 100*err)
+	}
+}
+
+func TestSketchMergeNilAndClone(t *testing.T) {
+	s := NewSketch(8)
+	s.Add("a")
+	s.Merge(nil)
+	c := s.Clone()
+	c.Add("b")
+	if len(s.Hashes) != 1 || len(c.Hashes) != 2 {
+		t.Fatalf("clone aliases parent: %d/%d", len(s.Hashes), len(c.Hashes))
+	}
+}
+
+func TestMeasurable(t *testing.T) {
+	cases := map[string]bool{
+		"R":            true,
+		"S":            true,
+		"quotes":       true, // 'u' is not hex
+		"q":            true,
+		"qzzz":         true,
+		"q1a2b":        false, // query rehash namespace
+		"qdeadbeef":    false,
+		"q1a2b.agg":    false,
+		"q1a2b.bloom":  false,
+		"pier.stats":   false,
+		"pier.catalog": false,
+	}
+	for ns, want := range cases {
+		if got := Measurable(ns); got != want {
+			t.Errorf("Measurable(%q) = %v, want %v", ns, got, want)
+		}
+	}
+}
+
+func TestSummaryMergeAndTableStats(t *testing.T) {
+	a := &Summary{Table: "R", Nodes: 1, Tuples: 100, Bytes: 6400, Keys: NewSketch(64)}
+	b := &Summary{Table: "R", Nodes: 1, Tuples: 300, Bytes: 19200, Keys: NewSketch(64)}
+	for i := 0; i < 100; i++ {
+		a.Keys.Add(fmt.Sprint(i))
+	}
+	for i := 50; i < 350; i++ {
+		b.Keys.Add(fmt.Sprint(i))
+	}
+	a.Merge(b)
+	if a.Nodes != 2 || a.Tuples != 400 || a.Bytes != 25600 {
+		t.Fatalf("merged counters: %+v", a)
+	}
+	ts := a.TableStats()
+	if ts.Tuples != 400 || ts.TupleBytes != 64 {
+		t.Fatalf("TableStats: %+v", ts)
+	}
+	if ts.DistinctJoinKeys < 280 || ts.DistinctJoinKeys > 420 {
+		t.Fatalf("distinct keys estimate %.0f, want ≈350", ts.DistinctJoinKeys)
+	}
+}

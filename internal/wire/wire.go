@@ -28,6 +28,7 @@
 //	64..79   pier/internal/dht/chord
 //	80..89   pier/internal/dht/multicast
 //	90..99   package pier (catalog, ...)
+//	100..109 pier/internal/stats (statistics catalog)
 //	200..255 applications and tests
 //
 // # Relation to WireSize

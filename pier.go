@@ -26,6 +26,7 @@ import (
 	"pier/internal/dht/chord"
 	"pier/internal/dht/provider"
 	"pier/internal/env"
+	"pier/internal/stats"
 )
 
 // Re-exported query-construction types. Plans are built either directly
@@ -94,6 +95,11 @@ type Options struct {
 	ProviderConfig provider.Config
 	// EngineConfig configures the query processor.
 	EngineConfig core.Config
+	// Stats configures the self-maintaining statistics catalog. The
+	// zero value leaves the maintenance loop off (the catalog then only
+	// answers explicit refreshes); set Stats.Interval to enable
+	// periodic sampling, publication, and the deployment probe.
+	Stats stats.Config
 }
 
 // DefaultOptions returns the paper's simulation defaults.
@@ -113,6 +119,7 @@ type Node struct {
 	router   dht.Router
 	provider *provider.Provider
 	engine   *core.Engine
+	stats    *stats.Catalog
 }
 
 // buildNode assembles the stack over an environment and registers the
@@ -130,7 +137,10 @@ func buildNode(e interface {
 	}
 	prov := provider.New(e, rt, opts.ProviderConfig)
 	eng := core.New(e, prov, opts.EngineConfig)
-	n := &Node{env: e, router: rt, provider: prov, engine: eng}
+	cat := stats.New(e, prov, opts.Stats)
+	eng.SetObserver(cat.Observe)
+	cat.Start()
+	n := &Node{env: e, router: rt, provider: prov, engine: eng, stats: cat}
 	e.SetHandler(env.HandlerFunc(func(from env.Addr, m env.Message) {
 		if rt.HandleMessage(from, m) {
 			return
@@ -156,6 +166,28 @@ func (n *Node) Provider() *provider.Provider { return n.provider }
 // Engine exposes the query processor.
 func (n *Node) Engine() *core.Engine { return n.engine }
 
+// Stats exposes the node's statistics catalog: cached table statistics,
+// deployment estimates, learned corrections, and explicit refresh
+// control. Enabled (periodic) maintenance is configured through
+// Options.Stats.
+func (n *Node) Stats() *stats.Catalog { return n.stats }
+
+// RefreshStats runs one catalog maintenance tick immediately: sample
+// local tables, publish summaries, combine owned rollup buckets, and
+// re-probe the deployment. Useful to warm a catalog without waiting for
+// the periodic loop.
+func (n *Node) RefreshStats() { n.stats.Refresh() }
+
+// TransportStats reports the node's transport link counters (frames,
+// batches, bytes, drops). ok is false on environments without real
+// links (the simulator charges WireSize instead of sending bytes).
+func (n *Node) TransportStats() (s env.LinkStats, ok bool) {
+	if lp, isReal := n.env.(env.LinkStatsProvider); isReal {
+		return lp.LinkStats(), true
+	}
+	return env.LinkStats{}, false
+}
+
 // Publish stores a tuple in the DHT under (table, resourceID) with the
 // given lifetime; wrappers publish and periodically renew this way
 // (§2.2c, §3.2.3). instanceID separates same-key items.
@@ -171,9 +203,20 @@ func (n *Node) Renew(table, resourceID string, instanceID int64, t *Tuple, lifet
 // Query validates and disseminates a plan from this node and streams
 // result tuples into fn. It returns the query id for Cancel.
 //
+// Join plans marked AutoStrategy (SQL without a USING STRATEGY clause,
+// or set explicitly) consult this node's statistics catalog first: with
+// a warmed catalog the cost-based choice replaces the default strategy;
+// a cold catalog leaves the default and triggers an async fetch so the
+// next query finds it warm.
+//
 // In simulated networks, call Query between simulation Run calls (all
 // node code runs on the simulation goroutine).
 func (n *Node) Query(p *Plan, fn ResultFunc) (uint64, error) {
+	if p.AutoStrategy && len(p.Tables) == 2 {
+		if s, _, ok := n.stats.ChooseStrategy(p); ok {
+			p.Strategy = s
+		}
+	}
 	return n.engine.Run(p, fn)
 }
 

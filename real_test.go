@@ -17,7 +17,11 @@ import (
 // one CAN overlay.
 func startCluster(t *testing.T, n int) []*RealNode {
 	t.Helper()
-	opts := DefaultOptions()
+	return startClusterOpts(t, n, DefaultOptions())
+}
+
+func startClusterOpts(t *testing.T, n int, opts Options) []*RealNode {
+	t.Helper()
 	nodes := make([]*RealNode, 0, n)
 	first, err := StartNode("127.0.0.1:0", env.NilAddr, 1, opts)
 	if err != nil {
@@ -165,4 +169,119 @@ func TestRealNetMulticastQueryDissemination(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("multicast reached %d/3 nodes", seen)
+}
+
+// TestRealNodeTransportStats: the transport's batching counters
+// (frames/batches/bytes/drops) must be readable through the node-level
+// accessor — the NetStats probe and operators consume them there.
+func TestRealNodeTransportStats(t *testing.T) {
+	nodes := startCluster(t, 3)
+	ls, ok := nodes[0].TransportStats()
+	if !ok {
+		t.Fatal("real node must expose link counters")
+	}
+	// The CAN join protocol alone moves frames.
+	deadline := time.Now().Add(10 * time.Second)
+	for ls.FramesSent == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		ls, _ = nodes[0].TransportStats()
+	}
+	if ls.FramesSent == 0 || ls.BytesSent == 0 {
+		t.Fatalf("no traffic counted after cluster join: %+v", ls)
+	}
+	if ls.BatchesSent == 0 || ls.BatchesSent > ls.FramesSent {
+		t.Fatalf("batch accounting inconsistent: %+v", ls)
+	}
+}
+
+// TestRealNetAdaptiveStrategyChoice runs the statistics catalog over
+// real TCP sockets: nodes publish summaries on the refresh loop, the
+// initiator warms its cache, and an AutoStrategy query picks Fetch
+// Matches (the inner table is hashed on the join attribute) — the same
+// adaptive behavior the simnet benchmark demonstrates, deployed.
+func TestRealNetAdaptiveStrategyChoice(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Stats.Interval = 200 * time.Millisecond
+	nodes := startClusterOpts(t, 4, opts)
+
+	tables := workload.Generate(workload.Config{STuples: 24, Seed: 9})
+	for i, r := range tables.R {
+		nodes[i%4].PublishSync("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, time.Minute)
+	}
+	for i, s := range tables.S {
+		nodes[i%4].PublishSync("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, time.Minute)
+	}
+
+	// Let the refresh loop publish, then warm the initiator's cache.
+	warmed := func() bool {
+		ch := make(chan int, 2)
+		nodes[0].Do(func() {
+			nodes[0].Stats().Fetch("R", func(_ TableStats, ok bool) {
+				if ok {
+					ch <- 1
+				} else {
+					ch <- 0
+				}
+			})
+			nodes[0].Stats().Fetch("S", func(_ TableStats, ok bool) {
+				if ok {
+					ch <- 1
+				} else {
+					ch <- 0
+				}
+			})
+		})
+		got := 0
+		for i := 0; i < 2; i++ {
+			select {
+			case v := <-ch:
+				got += v
+			case <-time.After(5 * time.Second):
+				return false
+			}
+		}
+		return got == 2
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for !warmed() {
+		if time.Now().After(deadline) {
+			t.Fatal("catalog never warmed over TCP")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	expected := len(tables.ReferenceJoin(c1, c2, c3))
+	plan := workload.JoinPlan(SymmetricHash, c1, c2, c3)
+	plan.AutoStrategy = true
+	plan.TTL = time.Minute
+
+	var mu sync.Mutex
+	rows := 0
+	id, err := nodes[0].QuerySync(plan, func(*core.Tuple, int) {
+		mu.Lock()
+		rows++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodes[0].Do(func() { nodes[0].Cancel(id) })
+
+	if plan.Strategy != FetchMatches {
+		t.Fatalf("warm catalog chose %v over TCP, want fetch matches", plan.Strategy)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := rows
+		mu.Unlock()
+		if n >= expected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("adaptive query returned %d/%d rows", n, expected)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
