@@ -7,9 +7,14 @@
 // -json FILE collects them into a JSON array (BENCH_*.json style) so
 // per-PR performance trajectories can be tracked.
 //
+// The chaos scenario runs the pinned-seed fault-injection harness
+// (churn + partition + loss under the full query mix) and exits
+// non-zero if any invariant fails, so CI can gate on it; -seed replays
+// a different schedule.
+//
 // Usage:
 //
-//	pier-bench [-full] [-only adaptive,fig3,table4,...] [-json out.json]
+//	pier-bench [-full] [-only adaptive,chaos,fig3,table4,...] [-json out.json] [-seed N]
 package main
 
 import (
@@ -24,8 +29,9 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale runs (slow)")
-	only := flag.String("only", "", "comma-separated subset: adaptive,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord")
+	only := flag.String("only", "", "comma-separated subset: adaptive,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,churn run only when named here")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
+	seed := flag.Int64("seed", 1, "seed for the chaos scenario (replays the exact fault schedule)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -47,7 +53,26 @@ func main() {
 	}
 
 	var records []experiments.BenchRecord
+	chaosFailed := false
 
+	// The chaos scenarios run only when explicitly selected (-only
+	// chaos,churn): they are invariant gates with an exit-1 path, not
+	// paper figures, and must not turn the documented no-flag/-full
+	// figure-regeneration sweeps into hours-long fault-injection runs.
+	if want["chaos"] {
+		run("chaos", "Chaos harness — pinned-seed fault-injection scenario", func() {
+			rep := experiments.ChaosScenario(*seed, *full)
+			rep.Print(os.Stdout)
+			if !rep.AllPass() {
+				chaosFailed = true
+			}
+		})
+	}
+	if want["churn"] {
+		run("churn", "Chaos churn matrix — recall vs churn with rejoin", func() {
+			experiments.ChurnMatrix(experiments.DefaultChurnMatrix(*full)).Print(os.Stdout)
+		})
+	}
 	run("adaptive", "Adaptive planner vs fixed join strategies", func() {
 		_, tbl, recs := experiments.Adaptive(experiments.DefaultAdaptive(*full))
 		tbl.Print(os.Stdout)
@@ -109,5 +134,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d benchmark records to %s\n", len(records), *jsonPath)
+	}
+	if chaosFailed {
+		fmt.Fprintln(os.Stderr, "pier-bench: chaos invariants failed")
+		os.Exit(1)
 	}
 }

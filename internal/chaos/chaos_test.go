@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"pier"
+)
+
+// TestBuildScheduleDeterministic pins the schedule generator: the same
+// config yields the identical event list.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	cfg := Default(42).Norm()
+	a, b := BuildSchedule(cfg), BuildSchedule(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Sorted by time.
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not time-sorted at %d", i)
+		}
+	}
+	// The default scenario has churn, a partition window, and a burst.
+	kinds := map[EventKind]int{}
+	for _, ev := range a {
+		kinds[ev.Kind]++
+	}
+	if kinds[EvCrash]+kinds[EvLeave] == 0 || kinds[EvPartitionStart] != 1 || kinds[EvLossStart] != 1 {
+		t.Fatalf("unexpected event mix: %v", kinds)
+	}
+}
+
+// TestScheduleWindowValidation pins the config guards: same-type
+// windows must not overlap or extend past the active phase, and
+// back-to-back windows must execute End before Start at the shared
+// instant so they compose.
+func TestScheduleWindowValidation(t *testing.T) {
+	base := Config{Queries: 4, QueryEvery: time.Minute}.Norm() // 4 min active phase
+
+	mustPanic := func(name string, cfg Config) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid schedule accepted")
+				}
+			}()
+			BuildSchedule(cfg)
+		})
+	}
+	overlapping := base
+	overlapping.Partitions = []PartitionWindow{
+		{Start: 0, Duration: 2 * time.Minute, Frac: 0.2},
+		{Start: time.Minute, Duration: 2 * time.Minute, Frac: 0.2},
+	}
+	mustPanic("overlapping partitions", overlapping)
+
+	pastEnd := base
+	pastEnd.LossBursts = []LossBurst{{Start: 3 * time.Minute, Duration: 2 * time.Minute, Prob: 0.1}}
+	mustPanic("loss burst past active phase", pastEnd)
+
+	adjacent := base
+	adjacent.Partitions = []PartitionWindow{
+		{Start: 0, Duration: time.Minute, Frac: 0.2},
+		{Start: time.Minute, Duration: time.Minute, Frac: 0.3},
+	}
+	evs := BuildSchedule(adjacent)
+	var atBoundary []EventKind
+	for _, ev := range evs {
+		if ev.At == time.Minute {
+			atBoundary = append(atBoundary, ev.Kind)
+		}
+	}
+	if len(atBoundary) != 2 || atBoundary[0] != EvPartitionEnd || atBoundary[1] != EvPartitionStart {
+		t.Fatalf("adjacent windows must run End before Start at the boundary, got %v", atBoundary)
+	}
+}
+
+func TestGenerateQueriesDeterministicAndMixed(t *testing.T) {
+	a, b := GenerateQueries(16, 7), GenerateQueries(16, 7)
+	kinds := map[QueryKind]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs across generations", i)
+		}
+		kinds[a[i].Kind]++
+	}
+	for _, k := range []QueryKind{QSelect, QJoin, QAggregate, QContinuous} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v queries in a 16-query mix", k)
+		}
+	}
+	if c := GenerateQueries(16, 8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] && c[3] == a[3] {
+		t.Error("different seeds produced the same prefix")
+	}
+}
+
+// TestChaosPinnedSeed is the acceptance scenario: ≥64 nodes under
+// churn, one partition window, and 1% link loss, running the full
+// query mix. Every invariant must hold — including the replay
+// determinism check, which re-runs the faulted scenario and compares
+// trace fingerprints.
+func TestChaosPinnedSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run chaos scenario is slow")
+	}
+	rep := Run(Default(1))
+	rep.Print(os.Stderr)
+	for _, iv := range rep.Failed() {
+		t.Errorf("invariant %s failed: %s", iv.Name, iv.Detail)
+	}
+	if rep.Stats.Messages == 0 || rep.Stats.LostLoss == 0 || rep.Stats.LostPartition == 0 {
+		t.Errorf("scenario exercised no faults: %+v", rep.Stats)
+	}
+	if len(rep.PerQueryRecall) != rep.Cfg.Queries {
+		t.Errorf("recall recorded for %d/%d queries", len(rep.PerQueryRecall), rep.Cfg.Queries)
+	}
+}
+
+// TestChaosChordSmoke runs a lighter scenario over the Chord overlay:
+// the harness must drive both DHTs.
+func TestChaosChordSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenario is slow")
+	}
+	cfg := Config{
+		Nodes:         32,
+		Seed:          3,
+		DHT:           pier.Chord,
+		CrashesPerMin: 2,
+		GracefulFrac:  0.5,
+		BaseLoss:      0.005,
+		STuples:       60,
+		Queries:       4,
+		QueryEvery:    45 * time.Second,
+		RecallFloor:   0.3,
+	}
+	rep := Run(cfg)
+	for _, iv := range rep.Failed() {
+		t.Errorf("invariant %s failed: %s", iv.Name, iv.Detail)
+	}
+}

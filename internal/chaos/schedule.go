@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EventKind classifies one fault-schedule event.
+type EventKind int
+
+// Fault events.
+const (
+	// EvCrash fails a random live node abruptly; a fresh identity
+	// rejoins through the driver so the population stays constant.
+	EvCrash EventKind = iota
+	// EvLeave departs a random live node gracefully (zone and soft
+	// state hand off), followed by a fresh rejoin.
+	EvLeave
+	// EvPartitionStart isolates a random Frac of the live population
+	// into a separate island until the matching EvPartitionEnd.
+	EvPartitionStart
+	EvPartitionEnd
+	// EvLossStart raises the global link-loss probability to Prob until
+	// the matching EvLossEnd restores the scenario's base loss.
+	EvLossStart
+	EvLossEnd
+)
+
+func (k EventKind) String() string {
+	return [...]string{"crash", "leave", "partition-start", "partition-end", "loss-start", "loss-end"}[k]
+}
+
+// Event is one scheduled fault. Times are offsets from the start of the
+// active phase (after warmup).
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Prob float64 // EvLossStart: loss probability
+	Frac float64 // EvPartitionStart: fraction of nodes isolated
+}
+
+// BuildSchedule expands a Config into the deterministic, time-sorted
+// fault schedule for its seed. Churn events are spaced evenly at the
+// configured rate, each drawn as a crash or a graceful leave; partition
+// windows and loss bursts come straight from the config. The same
+// Config always yields the same schedule — replaying a seed replays
+// its faults.
+//
+// Windows of the same fault type must not overlap: Partition replaces
+// the whole island assignment and a loss burst's end restores the base
+// loss, so overlapping windows would silently corrupt each other
+// instead of composing. Windows must also close inside the active
+// phase — a Start firing after the harness's final Heal (or an End
+// swallowed by teardown) would leave a fault installed forever.
+// BuildSchedule panics on such a config — a schedule that does not
+// mean what it says must not run.
+func BuildSchedule(cfg Config) []Event {
+	type window struct{ start, dur time.Duration }
+	validate := func(kind string, ws []window) {
+		for i, a := range ws {
+			if a.start+a.dur > cfg.Duration() {
+				panic(fmt.Sprintf("chaos: %s window %v+%v extends past the active phase (%v)",
+					kind, a.start, a.dur, cfg.Duration()))
+			}
+			for _, b := range ws[i+1:] {
+				if a.start < b.start+b.dur && b.start < a.start+a.dur {
+					panic(fmt.Sprintf("chaos: %s windows overlap (%v+%v and %v+%v)",
+						kind, a.start, a.dur, b.start, b.dur))
+				}
+			}
+		}
+	}
+	pws := make([]window, len(cfg.Partitions))
+	for i, p := range cfg.Partitions {
+		pws[i] = window{p.Start, p.Duration}
+	}
+	validate("partition", pws)
+	lws := make([]window, len(cfg.LossBursts))
+	for i, l := range cfg.LossBursts {
+		lws[i] = window{l.Start, l.Duration}
+	}
+	validate("loss", lws)
+
+	var evs []Event
+	if cfg.CrashesPerMin > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed5c4ed))
+		interval := time.Duration(float64(time.Minute) / cfg.CrashesPerMin)
+		for at := interval; at <= cfg.Duration(); at += interval {
+			kind := EvCrash
+			if rng.Float64() < cfg.GracefulFrac {
+				kind = EvLeave
+			}
+			evs = append(evs, Event{At: at, Kind: kind})
+		}
+	}
+	for _, pw := range cfg.Partitions {
+		evs = append(evs, Event{At: pw.Start, Kind: EvPartitionStart, Frac: pw.Frac})
+		evs = append(evs, Event{At: pw.Start + pw.Duration, Kind: EvPartitionEnd})
+	}
+	for _, lb := range cfg.LossBursts {
+		evs = append(evs, Event{At: lb.Start, Kind: EvLossStart, Prob: lb.Prob})
+		evs = append(evs, Event{At: lb.Start + lb.Duration, Kind: EvLossEnd})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return tiePriority(evs[i].Kind) < tiePriority(evs[j].Kind)
+	})
+	return evs
+}
+
+// tiePriority orders equal-time events: a window's End executes before
+// the next window's Start, so back-to-back same-type windows compose
+// instead of the earlier End cancelling the later Start's effect.
+func tiePriority(k EventKind) int {
+	switch k {
+	case EvPartitionEnd:
+		return 0
+	case EvLossEnd:
+		return 1
+	case EvCrash:
+		return 2
+	case EvLeave:
+		return 3
+	case EvPartitionStart:
+		return 4
+	case EvLossStart:
+		return 5
+	}
+	return 6
+}

@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/workload"
+)
+
+// QueryKind classifies one generated workload query.
+type QueryKind int
+
+// Generated query kinds.
+const (
+	// QSelect scans one table with a selection predicate.
+	QSelect QueryKind = iota
+	// QJoin runs the §5.1 two-table equi-join under a random strategy.
+	QJoin
+	// QAggregate computes grouped aggregates over one table.
+	QAggregate
+	// QContinuous runs a windowed continuous aggregate over arrivals
+	// (renewals keep feeding it). Excluded from recall comparison —
+	// per-window arrival counts legitimately differ under loss — but it
+	// must still terminate cleanly.
+	QContinuous
+)
+
+func (k QueryKind) String() string {
+	return [...]string{"select", "join", "aggregate", "continuous"}[k]
+}
+
+// QuerySpec is one deterministic generated query.
+type QuerySpec struct {
+	Kind     QueryKind
+	Strategy core.Strategy
+	// SelR/SelS/SelF are the predicate selectivities (join) or the scan
+	// selectivity (select, SelS).
+	SelR, SelS, SelF float64
+	// CancelEarly cancels the query halfway through its window instead
+	// of letting the TTL tear it down, exercising the cancel-multicast
+	// path under faults.
+	CancelEarly bool
+}
+
+// Recallable reports whether the query participates in the recall
+// comparison against the oracle run.
+func (q QuerySpec) Recallable() bool {
+	return q.Kind == QSelect || q.Kind == QJoin || q.Kind == QAggregate
+}
+
+// GenerateQueries derives n query specs from a seed: a deterministic
+// mix of scans, joins across all four strategies, grouped aggregates,
+// and continuous queries.
+func GenerateQueries(n int, seed int64) []QuerySpec {
+	rng := rand.New(rand.NewSource(seed ^ 0x9127c3a5))
+	sels := []float64{0.3, 0.5, 0.7}
+	specs := make([]QuerySpec, n)
+	joins := 0
+	for i := range specs {
+		q := QuerySpec{
+			SelR:        sels[rng.Intn(len(sels))],
+			SelS:        sels[rng.Intn(len(sels))],
+			SelF:        sels[rng.Intn(len(sels))],
+			CancelEarly: rng.Float64() < 0.3,
+		}
+		switch i % 4 {
+		case 0, 2:
+			q.Kind = QJoin
+			// Cycle the strategies so every seed covers all four once
+			// enough joins are generated; the selectivities stay random.
+			q.Strategy = core.Strategy(joins % 4)
+			joins++
+		case 1:
+			q.Kind = QSelect
+		default:
+			if i%8 == 3 {
+				q.Kind = QContinuous
+			} else {
+				q.Kind = QAggregate
+			}
+		}
+		specs[i] = q
+	}
+	return specs
+}
+
+// Plan lowers the spec to an executable plan over the workload tables.
+// window is the per-query result-collection window (the plan's TTL).
+func (q QuerySpec) Plan(sTuples int, window time.Duration) *core.Plan {
+	c1, c2, c3 := workload.Constants(q.SelR, q.SelS, q.SelF)
+	var p *core.Plan
+	switch q.Kind {
+	case QJoin:
+		p = workload.JoinPlan(q.Strategy, c1, c2, c3)
+		p.BloomBits = 1 << 14
+		p.BloomWait = 5 * time.Second
+	case QSelect:
+		p = &core.Plan{
+			Tables: []core.TableRef{{
+				NS:     "S",
+				Filter: &core.Cmp{Op: core.GT, L: &core.Col{Idx: workload.SNum2}, R: &core.Const{V: c2}},
+				RIDCol: workload.SPkey,
+			}},
+			Output: []core.Expr{&core.Col{Idx: workload.SPkey}, &core.Col{Idx: workload.SNum2}},
+		}
+	case QAggregate:
+		p = &core.Plan{
+			Tables: []core.TableRef{{
+				NS:     "S",
+				Filter: &core.Cmp{Op: core.GT, L: &core.Col{Idx: workload.SNum2}, R: &core.Const{V: c2}},
+				RIDCol: workload.SPkey,
+			}},
+			GroupBy: []int{workload.SNum3},
+			Aggs:    []core.Aggregate{{Kind: core.Count, Col: -1}, {Kind: core.Sum, Col: workload.SNum2}},
+			AggWait: 8 * time.Second,
+		}
+	case QContinuous:
+		p = &core.Plan{
+			Tables:     []core.TableRef{{NS: "S", RIDCol: workload.SPkey}},
+			Aggs:       []core.Aggregate{{Kind: core.Count, Col: -1}},
+			Continuous: true,
+			Every:      10 * time.Second,
+			AggWait:    5 * time.Second,
+		}
+	}
+	p.TTL = window
+	return p
+}
+
+// Key derives the recall-comparison key of one result tuple. Select and
+// join results are identified by their full output row; aggregate
+// results by their group keys only (aggregate values legitimately
+// differ when tuples are lost, but a surviving group should still
+// report).
+func (q QuerySpec) Key(t *core.Tuple, window int) string {
+	vals := t.Vals
+	if q.Kind == QAggregate {
+		vals = vals[:1] // the single group column
+	}
+	parts := make([]string, 0, len(vals)+1)
+	for _, v := range vals {
+		parts = append(parts, core.ValueString(v))
+	}
+	if window > 0 {
+		parts = append(parts, fmt.Sprintf("w%d", window))
+	}
+	return strings.Join(parts, "\x1f")
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"crypto/sha1"
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"pier/internal/dht/provider"
@@ -144,21 +145,35 @@ func (eng *Engine) closeCollector(id uint64) {
 }
 
 // reportWindows feeds the observer every counted window below the
-// given bound, exactly once each.
+// given bound, exactly once each, in window order.
 func (eng *Engine) reportWindows(c *collector, before int) {
 	if before > c.closed {
 		c.closed = before
 	}
-	for w, n := range c.counts {
-		if w >= before {
-			continue
+	var ws []int
+	for w := range c.counts {
+		if w < before {
+			ws = append(ws, w)
 		}
+	}
+	sort.Ints(ws)
+	for _, w := range ws {
+		n := c.counts[w]
 		delete(c.counts, w)
 		if eng.obs != nil && n > 0 {
 			eng.obs(c.plan, w, n)
 		}
 	}
 }
+
+// ActiveExecs returns the number of query executors currently running
+// on this node. The chaos harness's termination invariant asserts it
+// reaches zero once every query's TTL has passed.
+func (eng *Engine) ActiveExecs() int { return len(eng.execs) }
+
+// OpenCollectors returns the number of queries initiated on this node
+// whose collectors are still registered (not yet cancelled or expired).
+func (eng *Engine) OpenCollectors() int { return len(eng.collectors) }
 
 // HandleMessage consumes engine messages (results), returning false for
 // anything else.

@@ -589,7 +589,7 @@ func (ex *exec) stateLifetime() time.Duration {
 // per-node instanceID makes the put a replace, so repeated flushes of a
 // monotonically growing state are idempotent at the collector.
 func (ex *exec) flushPartials() {
-	for key := range ex.dirty {
+	for _, key := range env.SortedKeys(ex.dirty) {
 		pg := ex.partials[key]
 		states := make([]*AggState, len(pg.states))
 		for i, s := range pg.states {
@@ -647,7 +647,8 @@ func (ex *exec) combineLevel1(w int) {
 		}
 		return true
 	})
-	for rid, c := range combined {
+	for _, rid := range env.SortedKeys(combined) {
+		c := combined[rid]
 		// Stable per-bucket iid so distinct intermediate sites (and
 		// re-combines) never collide at the root.
 		ex.eng.prov.Put(ex.aggNS, c.base, ridIID(rid),

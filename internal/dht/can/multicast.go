@@ -1,6 +1,8 @@
 package can
 
 import (
+	"sort"
+
 	"pier/internal/dht"
 	"pier/internal/env"
 )
@@ -79,6 +81,8 @@ func (r *Router) MulticastForward(from env.Addr, hint []uint32) []env.Addr {
 		}
 		out = append(out, a)
 	}
+	// The flooder sends to these in order; keep it deterministic.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

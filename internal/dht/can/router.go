@@ -513,7 +513,7 @@ func (r *Router) adoptZones(dead env.Addr, zones []Zone, deadNbrs map[env.Addr][
 		}
 	}
 	notice := &takeoverNotice{Dead: dead, Zones: cloneZones(r.zones)}
-	for a := range r.neighbors {
+	for _, a := range r.Neighbors() {
 		r.env.Send(a, notice)
 	}
 	r.fireLocChange()
@@ -535,9 +535,13 @@ func (r *Router) neighborSummary() map[env.Addr][]Zone {
 	return m
 }
 
+// broadcastUpdate sends our zone set to every neighbor, in sorted
+// address order — broadcast order must be deterministic for seeded
+// simulations to replay (the fault layer's loss rolls are consumed per
+// send).
 func (r *Router) broadcastUpdate() {
 	u := &neighborUpdate{Zones: cloneZones(r.zones)}
-	for a := range r.neighbors {
+	for _, a := range r.Neighbors() {
 		r.env.Send(a, u)
 	}
 }
@@ -560,7 +564,7 @@ func (r *Router) sendKeepalives() {
 	}
 	summary := r.neighborSummary()
 	u := &neighborUpdate{Zones: cloneZones(r.zones), Nbrs: summary}
-	for a := range r.neighbors {
+	for _, a := range r.Neighbors() {
 		r.env.Send(a, u)
 	}
 }
@@ -579,6 +583,8 @@ func (r *Router) detectFailures() {
 			deads = append(deads, a)
 		}
 	}
+	// Takeovers send messages; process the dead in a deterministic order.
+	sort.Slice(deads, func(i, j int) bool { return deads[i] < deads[j] })
 	for _, dead := range deads {
 		deadInfo, ok := r.neighbors[dead]
 		if !ok {

@@ -102,8 +102,12 @@ func (f *Flooder) HandleMessage(from env.Addr, m env.Message) bool {
 }
 
 func (f *Flooder) deliver(m *FloodMsg) {
-	for _, fn := range f.handlers {
-		fn(m.Origin, m.Payload)
+	// Handlers may send; invoke them in registration order so delivery
+	// side effects are deterministic.
+	for _, id := range env.SortedKeys(f.handlers) {
+		if fn, ok := f.handlers[id]; ok {
+			fn(m.Origin, m.Payload)
+		}
 	}
 }
 

@@ -217,8 +217,10 @@ func (p *Provider) deliverMulticast(origin env.Addr, payload env.Message) {
 	if !ok {
 		return
 	}
-	for _, fn := range p.onMcast {
-		fn(origin, np.NS, np.Payload)
+	for _, id := range env.SortedKeys(p.onMcast) {
+		if fn, ok := p.onMcast[id]; ok {
+			fn(origin, np.NS, np.Payload)
+		}
 	}
 }
 
@@ -254,8 +256,11 @@ func (p *Provider) OnNewData(ns string, fn func(*storage.Item)) (unsubscribe fun
 func (p *Provider) StoreLocal(it *storage.Item) {
 	p.store.Store(it)
 	p.scheduleExpiry()
-	for _, fn := range p.newData[it.Namespace] {
-		fn(it)
+	subs := p.newData[it.Namespace]
+	for _, id := range env.SortedKeys(subs) {
+		if fn, ok := subs[id]; ok {
+			fn(it)
+		}
 	}
 }
 

@@ -127,34 +127,45 @@ func (m *Manager) Remove(namespace, resourceID string, instanceID int64) bool {
 }
 
 // Scan iterates the live local items of a namespace — the provider's
-// lscan (§3.2.3). Iteration stops early if f returns false.
+// lscan (§3.2.3) — in sorted (resourceID, instanceID) order. Iteration
+// stops early if f returns false. The deterministic order matters:
+// scans feed message-emitting paths (rehashes, handoffs, summaries),
+// and a seed-replayable simulation needs identical send order per run.
 func (m *Manager) Scan(namespace string, f func(*Item) bool) {
+	m.scanSpace(m.spaces[namespace], f)
+}
+
+// ScanAll iterates every live item across namespaces in sorted order
+// (used for handoff after a location-map change).
+func (m *Manager) ScanAll(f func(*Item) bool) {
+	for _, ns := range m.Namespaces() {
+		stopped := false
+		m.scanSpace(m.spaces[ns], func(it *Item) bool {
+			ok := f(it)
+			stopped = !ok
+			return ok
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// scanSpace iterates one namespace's live items in sorted order.
+func (m *Manager) scanSpace(space map[string]map[int64]*Item, f func(*Item) bool) {
+	if len(space) == 0 {
+		return
+	}
 	now := m.now()
-	for _, rid := range m.spaces[namespace] {
-		for _, it := range rid {
+	for _, rid := range env.SortedKeys(space) {
+		insts := space[rid]
+		for _, iid := range env.SortedKeys(insts) {
+			it := insts[iid]
 			if it.expired(now) {
 				continue
 			}
 			if !f(it) {
 				return
-			}
-		}
-	}
-}
-
-// ScanAll iterates every live item across namespaces (used for handoff
-// after a location-map change).
-func (m *Manager) ScanAll(f func(*Item) bool) {
-	now := m.now()
-	for _, ns := range m.spaces {
-		for _, rid := range ns {
-			for _, it := range rid {
-				if it.expired(now) {
-					continue
-				}
-				if !f(it) {
-					return
-				}
 			}
 		}
 	}

@@ -12,7 +12,9 @@
 package env
 
 import (
+	"cmp"
 	"math/rand"
+	"slices"
 	"time"
 )
 
@@ -104,6 +106,22 @@ type HandlerFunc func(from Addr, m Message)
 
 // HandleMessage implements Handler.
 func (f HandlerFunc) HandleMessage(from Addr, m Message) { f(from, m) }
+
+// SortedKeys returns a map's keys in ascending order. Map iteration
+// order must be deterministic wherever the loop body sends messages or
+// feeds state that later sends — a seeded simulation replays only if
+// every send sequence does. Callback registries (provider, flooder),
+// storage scans, catalog refreshes, and partial-aggregate flushes all
+// iterate through this; it lives here because env is the layer every
+// node component already depends on.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
 
 // Every schedules f to run repeatedly with period d, starting after d.
 // The returned stop function cancels future runs.

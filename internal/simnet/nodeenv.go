@@ -55,10 +55,12 @@ func (n *NodeEnv) Post(f func()) {
 
 // Send implements env.Env. Delivery time is
 //
-//	send + latency(src,dst), then FIFO-queued behind the receiver's
-//	inbound link which drains at the topology's inbound bandwidth.
+//	send + latency(src,dst) + any configured extra delay, then
+//	FIFO-queued behind the receiver's inbound link which drains at the
+//	topology's inbound bandwidth.
 //
-// Messages from or to failed nodes are discarded.
+// Messages from or to failed nodes are discarded, as are messages
+// crossing a partition or rolled away by a loss rule (fault layer).
 func (n *NodeEnv) Send(to env.Addr, m env.Message) {
 	if !n.alive {
 		return
@@ -67,8 +69,26 @@ func (n *NodeEnv) Send(to env.Addr, m env.Message) {
 	if !ok {
 		return
 	}
+	if !dst.alive {
+		// Dropped at send time so dead nodes accumulate no queue state.
+		n.nw.stats.Dropped++
+		return
+	}
+	var extra time.Duration
+	if dst.index != n.index {
+		if n.nw.Partitioned(n.index, dst.index) {
+			n.nw.stats.LostPartition++
+			return
+		}
+		loss, d := n.nw.linkFault(n.index, dst.index)
+		if loss > 0 && n.nw.faultRng.Float64() < loss {
+			n.nw.stats.LostLoss++
+			return
+		}
+		extra = d
+	}
 	size := m.WireSize()
-	arrive := n.nw.now.Add(n.nw.topo.Latency(n.index, dst.index))
+	arrive := n.nw.now.Add(n.nw.topo.Latency(n.index, dst.index) + extra)
 	deliver := arrive
 	if bw := n.nw.topo.InboundBandwidth(dst.index); bw > 0 {
 		start := arrive

@@ -7,7 +7,10 @@
 // memory utilizations"; congestion occurs at the last hop).
 //
 // All node logic runs on the caller's goroutine inside Step/Run, so a
-// seeded simulation is fully deterministic.
+// seeded simulation is fully deterministic — including the fault layer:
+// link loss, extra delay, and partitions (SetLoss, SetLinkFault,
+// Partition) draw from a dedicated RNG derived from the network seed,
+// so a chaos scenario replays event-for-event from its seed.
 package simnet
 
 import (
@@ -32,19 +35,41 @@ type Network struct {
 	queue eventHeap
 	nodes []*NodeEnv
 
+	// Fault state: configured loss probability and extra delay (global
+	// and per directed link), the current partition assignment, and the
+	// dedicated fault RNG. The RNG is consumed only by sends a loss rule
+	// applies to, so fault-free simulations reproduce pre-fault traces.
+	faultRng  *rand.Rand
+	loss      float64
+	delay     time.Duration
+	linkLoss  map[linkKey]float64
+	linkDelay map[linkKey]time.Duration
+	island    []int // partition island per node; all zero = no partition
+
 	stats Stats
 }
+
+// linkKey identifies a directed src→dst link for per-link fault rules.
+type linkKey struct{ src, dst int }
 
 // Stats aggregates traffic over the lifetime of the network (or since the
 // last ResetStats). Bytes are counted once per delivered message, at the
 // receiver — multi-hop overlay routes therefore count each hop, matching
 // the paper's "aggregate network traffic" metric (Figure 4).
 type Stats struct {
-	Messages       int64
-	Bytes          int64
-	Dropped        int64 // messages addressed to failed nodes
-	InboundByNode  []int64
-	MaxInboundNode int
+	Messages int64
+	Bytes    int64
+	Dropped  int64 // messages addressed to failed nodes
+	// LostLoss and LostPartition count messages discarded by the fault
+	// layer: random link loss and partition rules respectively.
+	LostLoss      int64
+	LostPartition int64
+	// DeliveredToDead counts deliveries dispatched to a node that was
+	// dead at delivery time. Kill purges the dead node's pending events
+	// and Send drops eagerly, so this must stay zero; the chaos
+	// harness's no-delivery-to-dead invariant asserts on it.
+	DeliveredToDead int64
+	InboundByNode   []int64
 }
 
 // MaxInbound returns the largest per-node inbound byte count, the paper's
@@ -60,9 +85,15 @@ func (s *Stats) MaxInbound() int64 {
 }
 
 // New creates an empty simulated network over the given topology. The
-// seed drives every random choice made by nodes on this network.
+// seed drives every random choice made by nodes on this network,
+// including the fault layer's loss rolls.
 func New(topo topology.Topology, seed int64) *Network {
-	return &Network{topo: topo, seed: seed, now: Epoch}
+	return &Network{
+		topo:     topo,
+		seed:     seed,
+		now:      Epoch,
+		faultRng: rand.New(rand.NewSource(seed ^ 0x6a09e667f3bcc908)),
+	}
 }
 
 // Now returns the current virtual time.
@@ -85,18 +116,127 @@ func (nw *Network) AddNode() *NodeEnv {
 	}
 	nw.nodes = append(nw.nodes, n)
 	nw.stats.InboundByNode = append(nw.stats.InboundByNode, 0)
+	nw.island = append(nw.island, 0)
 	return n
 }
 
 // Node returns the environment of node i.
 func (nw *Network) Node(i int) *NodeEnv { return nw.nodes[i] }
 
-// Kill marks node i failed: its pending timers never fire, messages to it
-// are dropped silently (§5.6), and its sends are discarded.
-func (nw *Network) Kill(i int) { nw.nodes[i].alive = false }
+// Kill marks node i failed: messages to it are dropped (§5.6) and its
+// sends are discarded. The node's pending events — timers as well as
+// in-flight messages addressed to it — are reclaimed from the event
+// queue immediately (in-flight messages count as Dropped), its handler
+// reference is released so the node stack can be collected, and its
+// inbound-stats slot is zeroed so churned-out nodes do not linger in
+// MaxInbound. Kill is idempotent.
+func (nw *Network) Kill(i int) {
+	n := nw.nodes[i]
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	n.handler = nil
+	n.linkFreeAt = time.Time{}
+	nw.stats.InboundByNode[i] = 0
+	nw.purgeEvents(i)
+}
+
+// purgeEvents removes every queued event belonging to node i, counting
+// in-flight message deliveries as Dropped. The heap is rebuilt; pop
+// order stays deterministic because (at, seq) totally orders events.
+func (nw *Network) purgeEvents(i int) {
+	keep := nw.queue[:0]
+	for _, ev := range nw.queue {
+		if ev.node == i {
+			if ev.msg != nil && !ev.canceled {
+				nw.stats.Dropped++
+			}
+			continue
+		}
+		keep = append(keep, ev)
+	}
+	for j := len(keep); j < len(nw.queue); j++ {
+		nw.queue[j] = nil
+	}
+	nw.queue = keep
+	heap.Init(&nw.queue)
+}
 
 // Alive reports whether node i is up.
 func (nw *Network) Alive(i int) bool { return nw.nodes[i].alive }
+
+// SetLoss sets the global probability in [0, 1] that any inter-node
+// message is silently lost in transit. Self-sends are never lost.
+func (nw *Network) SetLoss(p float64) { nw.loss = p }
+
+// SetExtraDelay adds d to the propagation latency of every inter-node
+// message (e.g. a congested backbone during a fault window).
+func (nw *Network) SetExtraDelay(d time.Duration) { nw.delay = d }
+
+// SetLinkFault overrides the loss probability and extra delay of the
+// directed link src→dst, replacing the global rules on that link —
+// loss 0 makes the link reliable even under global loss. Use
+// ClearLinkFault to restore the global rules.
+func (nw *Network) SetLinkFault(src, dst int, loss float64, extraDelay time.Duration) {
+	k := linkKey{src, dst}
+	if nw.linkLoss == nil {
+		nw.linkLoss = make(map[linkKey]float64)
+		nw.linkDelay = make(map[linkKey]time.Duration)
+	}
+	nw.linkLoss[k] = loss
+	nw.linkDelay[k] = extraDelay
+}
+
+// ClearLinkFault removes the src→dst override; the global loss and
+// delay rules apply to the link again.
+func (nw *Network) ClearLinkFault(src, dst int) {
+	delete(nw.linkLoss, linkKey{src, dst})
+	delete(nw.linkDelay, linkKey{src, dst})
+}
+
+// Partition splits the network into islands: each listed group becomes
+// one island and every node not listed stays in the implicit island 0.
+// Messages between different islands are dropped (counted as
+// LostPartition) until Heal. A node listed twice lands in the last
+// group naming it. Nodes added after Partition join island 0.
+func (nw *Network) Partition(groups ...[]int) {
+	for i := range nw.island {
+		nw.island[i] = 0
+	}
+	for g, members := range groups {
+		for _, i := range members {
+			if i >= 0 && i < len(nw.island) {
+				nw.island[i] = g + 1
+			}
+		}
+	}
+}
+
+// Heal removes the current partition: all nodes rejoin one island.
+func (nw *Network) Heal() {
+	for i := range nw.island {
+		nw.island[i] = 0
+	}
+}
+
+// Partitioned reports whether src→dst crosses the current partition.
+func (nw *Network) Partitioned(src, dst int) bool {
+	return nw.island[src] != nw.island[dst]
+}
+
+// linkFault resolves the effective loss probability and extra delay for
+// one directed send.
+func (nw *Network) linkFault(src, dst int) (loss float64, delay time.Duration) {
+	loss, delay = nw.loss, nw.delay
+	if p, ok := nw.linkLoss[linkKey{src, dst}]; ok {
+		loss = p
+	}
+	if d, ok := nw.linkDelay[linkKey{src, dst}]; ok {
+		delay = d
+	}
+	return loss, delay
+}
 
 // Stats returns a snapshot of the traffic counters.
 func (nw *Network) Stats() Stats {
@@ -111,6 +251,7 @@ func (nw *Network) ResetStats() {
 		nw.stats.InboundByNode[i] = 0
 	}
 	nw.stats.Messages, nw.stats.Bytes, nw.stats.Dropped = 0, 0, 0
+	nw.stats.LostLoss, nw.stats.LostPartition, nw.stats.DeliveredToDead = 0, 0, 0
 }
 
 // Step processes the next event. It returns false when the queue is
@@ -187,8 +328,12 @@ func (nw *Network) Pending() int { return len(nw.queue) }
 func (nw *Network) dispatch(ev *event) {
 	node := nw.nodes[ev.node]
 	if !node.alive {
+		// Kill purges pending events and Send drops eagerly, so a
+		// delivery to a dead node indicates a lifecycle bug; surface it
+		// through the counter the chaos invariants assert on.
 		if ev.msg != nil {
 			nw.stats.Dropped++
+			nw.stats.DeliveredToDead++
 		}
 		return
 	}

@@ -232,7 +232,57 @@ func (p *parser) parseCmp() (Node, error) {
 		}
 		return &BinOp{Op: op, L: l, R: r}, nil
 	}
+	// x [NOT] IN (e1, e2, ...) desugars to a chain of equalities; the
+	// planner then treats it like any other disjunction.
+	negated := false
+	if p.peek().kind == tokKeyword && p.peek().text == "NOT" && p.i+1 < len(p.toks) &&
+		p.toks[p.i+1].kind == tokKeyword && p.toks[p.i+1].text == "IN" {
+		p.i++
+		negated = true
+	}
+	if p.acceptKeyword("IN") {
+		e, err := p.parseInList(l)
+		if err != nil {
+			return nil, err
+		}
+		if negated {
+			e = &UnOp{Op: "NOT", E: e}
+		}
+		return e, nil
+	}
 	return l, nil
+}
+
+// parseInList parses the parenthesized list of an IN predicate and
+// lowers it to OR-ed equalities. An empty list is a hard error — SQL
+// does not allow it, and silently treating it as FALSE hides bugs in
+// query generators.
+func (p *parser) parseInList(l Node) (Node, error) {
+	if !p.acceptSymbol("(") {
+		return nil, p.errf("expected ( after IN")
+	}
+	if p.acceptSymbol(")") {
+		return nil, p.errf("IN list must not be empty")
+	}
+	var out Node
+	for {
+		item, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		eq := &BinOp{Op: "=", L: l, R: item}
+		if out == nil {
+			out = eq
+		} else {
+			out = &BinOp{Op: "OR", L: out, R: eq}
+		}
+		if p.acceptSymbol(")") {
+			return out, nil
+		}
+		if !p.acceptSymbol(",") {
+			return nil, p.errf("expected , or ) in IN list")
+		}
+	}
 }
 
 func (p *parser) parseAdd() (Node, error) {

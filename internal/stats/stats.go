@@ -299,7 +299,7 @@ func (c *Catalog) Refresh() {
 	c.publishLocal()
 	c.combineBuckets()
 	c.probeHop()
-	for table := range c.cache {
+	for _, table := range env.SortedKeys(c.cache) {
 		c.Fetch(table, nil)
 	}
 }
@@ -362,11 +362,11 @@ func (c *Catalog) combineBuckets() {
 		}
 		return true
 	})
-	for rid, sum := range combined {
+	for _, rid := range env.SortedKeys(combined) {
 		root := rid[:strings.Index(rid, bucketSep)]
 		// A stable per-bucket instanceID keeps distinct buckets (and
 		// re-combines) from colliding at the root.
-		c.prov.Put(CatalogNS, root, ridIID(rid), sum, lifetime)
+		c.prov.Put(CatalogNS, root, ridIID(rid), combined[rid], lifetime)
 	}
 }
 

@@ -66,6 +66,49 @@ func (sn *SimNetwork) AddNode(landmark int) *Node {
 	return node
 }
 
+// Join is AddNode under the lifecycle vocabulary of the chaos harness:
+// a fresh node enters the overlay through the landmark. It returns the
+// new node's index.
+func (sn *SimNetwork) Join(landmark int) int {
+	sn.AddNode(landmark)
+	return len(sn.Nodes) - 1
+}
+
+// Leave departs node i gracefully: its zone and stored soft state
+// transfer to a peer (§5.6's clean-shutdown contrast to a crash), then
+// the process goes away — pending timers are reclaimed and later
+// messages to it drop. The transfer messages are already in flight
+// before the kill, so nothing the node owned is lost.
+func (sn *SimNetwork) Leave(i int) {
+	sn.Nodes[i].Leave()
+	sn.Net.Kill(i)
+}
+
+// Crash fails node i abruptly: its tuples are lost and messages to it
+// are dropped (§5.6). Alias of Kill, named for the chaos vocabulary.
+func (sn *SimNetwork) Crash(i int) { sn.Net.Kill(i) }
+
+// Restart models a node that crashes and comes back: the process at
+// index i dies and a fresh identity rejoins through the landmark —
+// rejoining nodes get new addresses and empty stores, exactly like a
+// new participant (DHT identities are not durable). It returns the new
+// node's index.
+func (sn *SimNetwork) Restart(i, landmark int) int {
+	sn.Crash(i)
+	return sn.Join(landmark)
+}
+
+// Partition splits the network into islands (see simnet.Network.
+// Partition); Heal removes it. Messages across islands are dropped.
+func (sn *SimNetwork) Partition(groups ...[]int) { sn.Net.Partition(groups...) }
+
+// Heal removes the current partition.
+func (sn *SimNetwork) Heal() { sn.Net.Heal() }
+
+// SetLoss sets the global per-message loss probability of the
+// underlying simulated network.
+func (sn *SimNetwork) SetLoss(p float64) { sn.Net.SetLoss(p) }
+
 // Owner returns the index of the node responsible for
 // (namespace, resourceID).
 func (sn *SimNetwork) Owner(namespace, resourceID string) int {
