@@ -185,3 +185,13 @@ func BenchmarkAdaptivePlanner(b *testing.B) {
 		t.Print(os.Stdout)
 	}
 }
+
+// BenchmarkRangeSelectivity regenerates the PHT-index-vs-full-scan
+// sweep: nodes contacted, bytes, and time to last result per
+// selectivity, for both access paths over the same deployment.
+func BenchmarkRangeSelectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, _ := experiments.RangeSelectivity(experiments.DefaultRangeSel(fullScale()))
+		t.Print(os.Stdout)
+	}
+}

@@ -18,17 +18,22 @@ import (
 // CatalogNS is the namespace holding table schemas.
 const CatalogNS = "pier.catalog"
 
-// schemaPayload is the stored form of a table schema.
+// schemaPayload is the stored form of a table schema: columns, primary
+// key, and any PHT indexes declared over its columns.
 type schemaPayload struct {
-	Cols []string
-	Key  string
+	Cols    []string
+	Key     string
+	Indexes []SQLIndex
 }
 
 // WireSize implements env.Message.
 func (s *schemaPayload) WireSize() int {
-	n := env.StringSize(s.Key) + 2
+	n := env.StringSize(s.Key) + 3
 	for _, c := range s.Cols {
 		n += env.StringSize(c)
+	}
+	for _, ix := range s.Indexes {
+		n += env.StringSize(ix.Name) + env.StringSize(ix.Col)
 	}
 	return n
 }
@@ -42,7 +47,7 @@ func (n *Node) RegisterTable(t SQLTable, lifetime time.Duration) {
 	if lifetime <= 0 {
 		lifetime = time.Hour
 	}
-	n.provider.Put(CatalogNS, t.Name, 1, &schemaPayload{Cols: t.Cols, Key: t.Key}, lifetime)
+	n.provider.Put(CatalogNS, t.Name, 1, &schemaPayload{Cols: t.Cols, Key: t.Key, Indexes: t.Indexes}, lifetime)
 }
 
 // LookupTable resolves a table schema from the DHT catalog; cb receives
@@ -51,7 +56,7 @@ func (n *Node) LookupTable(name string, cb func(*SQLTable)) {
 	n.provider.Get(CatalogNS, name, func(items []*storage.Item) {
 		for _, it := range items {
 			if sp, ok := it.Payload.(*schemaPayload); ok {
-				cb(&SQLTable{Name: name, Cols: sp.Cols, Key: sp.Key})
+				cb(&SQLTable{Name: name, Cols: sp.Cols, Key: sp.Key, Indexes: sp.Indexes})
 				return
 			}
 		}

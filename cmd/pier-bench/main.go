@@ -29,7 +29,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale runs (slow)")
-	only := flag.String("only", "", "comma-separated subset: adaptive,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,churn run only when named here")
+	only := flag.String("only", "", "comma-separated subset: adaptive,range,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,rangechaos,churn run only when named here")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
 	seed := flag.Int64("seed", 1, "seed for the chaos scenario (replays the exact fault schedule)")
 	flag.Parse()
@@ -68,6 +68,15 @@ func main() {
 			}
 		})
 	}
+	if want["rangechaos"] {
+		run("rangechaos", "Chaos harness — pinned-seed scenario with PHT range queries", func() {
+			rep := experiments.RangeChaosScenario(*seed, *full)
+			rep.Print(os.Stdout)
+			if !rep.AllPass() {
+				chaosFailed = true
+			}
+		})
+	}
 	if want["churn"] {
 		run("churn", "Chaos churn matrix — recall vs churn with rejoin", func() {
 			experiments.ChurnMatrix(experiments.DefaultChurnMatrix(*full)).Print(os.Stdout)
@@ -75,6 +84,11 @@ func main() {
 	}
 	run("adaptive", "Adaptive planner vs fixed join strategies", func() {
 		_, tbl, recs := experiments.Adaptive(experiments.DefaultAdaptive(*full))
+		tbl.Print(os.Stdout)
+		records = append(records, recs...)
+	})
+	run("range", "Range selectivity — PHT index scan vs multicast full scan", func() {
+		_, tbl, recs := experiments.RangeSelectivity(experiments.DefaultRangeSel(*full))
 		tbl.Print(os.Stdout)
 		records = append(records, recs...)
 	})

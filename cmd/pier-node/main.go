@@ -11,6 +11,7 @@
 //	table <name> <keycol> <col> [col...]   register a schema
 //	publish <table> <val> [val...]         publish a tuple (key = first col)
 //	sql <SELECT ...>                       run a query, print results
+//	sql CREATE INDEX <n> ON <t> (<col>)    build a PHT range index
 //	stats [table]                          catalog/deployment/link stats
 //	info                                   node status
 //	quit
@@ -29,6 +30,7 @@ import (
 	"pier"
 	"pier/internal/core"
 	"pier/internal/env"
+	"pier/internal/sql"
 )
 
 func main() {
@@ -154,6 +156,22 @@ func parseVal(s string) pier.Value {
 }
 
 func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duration) {
+	st, err := sql.ParseStatement(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, isDDL := st.(*sql.CreateIndexStmt); isDDL {
+		// CREATE INDEX name ON table (col): announced deployment-wide;
+		// the local catalog picks up the index so subsequent sargable
+		// queries plan index scans.
+		if err := node.ExecSync(src, cat); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("index created")
+		return
+	}
 	plan, err := pier.ParseSQL(src, cat)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -174,6 +192,10 @@ func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duratio
 		// QuerySync resolved the strategy on the event loop (catalog
 		// choice, or the default if the catalog is cold).
 		fmt.Printf("(strategy: %v)\n", plan.Strategy)
+	}
+	if len(plan.Tables) == 1 && plan.Tables[0].IndexScan != nil {
+		// Still set after QuerySync: the access choice kept the index.
+		fmt.Printf("(access: %s)\n", plan.Tables[0].IndexScan)
 	}
 	deadline := time.After(wait)
 	n := 0

@@ -1,0 +1,101 @@
+package pier_test
+
+// Godoc coverage gate: every exported identifier of the public root
+// package must carry a doc comment. CI runs this test by name, so a
+// new exported symbol without documentation fails the build rather
+// than silently eroding the API docs.
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+func TestGodocCoverage(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing package: %v", err)
+	}
+	astPkg, ok := pkgs["pier"]
+	if !ok {
+		t.Fatalf("root package 'pier' not found (got %v)", keys(pkgs))
+	}
+	// doc.New mutates the AST; that is fine in a throwaway parse.
+	d := doc.New(astPkg, "pier", doc.PreserveAST)
+
+	var missing []string
+	report := func(kind, name, comment string) {
+		if strings.TrimSpace(comment) == "" {
+			missing = append(missing, kind+" "+name)
+		}
+	}
+	if strings.TrimSpace(d.Doc) == "" {
+		missing = append(missing, "package pier")
+	}
+	for _, f := range d.Funcs {
+		report("func", f.Name, f.Doc)
+	}
+	for _, v := range d.Vars {
+		reportValue(report, "var", v)
+	}
+	for _, c := range d.Consts {
+		reportValue(report, "const", c)
+	}
+	for _, typ := range d.Types {
+		report("type", typ.Name, typ.Doc)
+		for _, f := range typ.Funcs {
+			report("func", f.Name, f.Doc)
+		}
+		for _, m := range typ.Methods {
+			report("method", typ.Name+"."+m.Name, m.Doc)
+		}
+		for _, v := range typ.Consts {
+			reportValue(report, "const", v)
+		}
+		for _, v := range typ.Vars {
+			reportValue(report, "var", v)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("exported root-package identifiers without doc comments:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}
+
+// reportValue checks one const/var declaration group: a group comment
+// covers all of its exported names; otherwise each exported name needs
+// its own comment.
+func reportValue(report func(kind, name, comment string), kind string, v *doc.Value) {
+	if strings.TrimSpace(v.Doc) != "" {
+		return
+	}
+	for _, spec := range v.Decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if vs.Doc != nil || vs.Comment != nil {
+			continue
+		}
+		for _, n := range vs.Names {
+			if ast.IsExported(n.Name) {
+				report(kind, n.Name, "")
+			}
+		}
+	}
+}
+
+func keys[M map[string]V, V any](m M) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package pier
+
+import (
+	"fmt"
+	"time"
+
+	"pier/internal/index"
+	"pier/internal/sql"
+)
+
+// Prefix Hash Tree range indexes (internal/index): the paper concedes
+// that a DHT offers only exact-match lookups (§4.3), so every range
+// predicate runs as a full scan multicast to all nodes. A PHT index —
+// a trie over order-preserving key encodings, maintained as soft state
+// in the DHT itself — lets a single node answer a range query by
+// contacting only the leaves the range covers.
+
+// SQLIndex declares a PHT index on a table schema for the SQL planner;
+// sargable predicates on the indexed column then lower to an index
+// range scan automatically.
+type SQLIndex = sql.Index
+
+// IndexManager is the per-node index agent: definition registry, entry
+// publisher, trie maintenance, and range-scan reader.
+type IndexManager = index.Manager
+
+// Indexes exposes the node's index agent (definition cache, reader
+// counters, explicit Tick control). Periodic trie maintenance is
+// configured through Options.Index.
+func (n *Node) Indexes() *IndexManager { return n.indexes }
+
+// CreateIndex builds a PHT index named name over column col of the
+// registered table schema t, announcing it deployment-wide: every live
+// node backfills entries for the base tuples it stores (with their
+// remaining lifetimes) and indexes every subsequent Publish/Renew of
+// the table. The trie balances itself over the next maintenance ticks.
+//
+// The definition is soft state: it lives in the DHT for lifetime (zero
+// = one hour) and this node's index agent renews it while running, so
+// an index whose creator disappears ages out like everything else.
+func (n *Node) CreateIndex(t SQLTable, name, col string, lifetime time.Duration) error {
+	ci := t.Col(col)
+	if ci < 0 {
+		return fmt.Errorf("pier: table %s has no column %s", t.Name, col)
+	}
+	return n.indexes.Create(index.Def{Name: name, Table: t.Name, Col: col, ColIdx: ci}, lifetime)
+}
+
+// Exec runs a DDL statement against the deployment. The supported
+// vocabulary is CREATE INDEX name ON table (col); the table's schema
+// comes from cat, and the created index is also recorded in the DHT
+// schema catalog so QuerySQL planners pick it up. SELECT statements
+// belong to ParseSQL/Query.
+func (n *Node) Exec(src string, cat Catalog) error {
+	st, err := sql.ParseStatement(src)
+	if err != nil {
+		return err
+	}
+	ci, ok := st.(*sql.CreateIndexStmt)
+	if !ok {
+		return fmt.Errorf("pier: Exec supports CREATE INDEX; use Query for SELECT")
+	}
+	t, known := cat[ci.Table]
+	if !known {
+		return fmt.Errorf("pier: unknown table %q", ci.Table)
+	}
+	// Idempotent re-run is fine; the same name over a different column
+	// is not (the trie stays keyed on the first column, so planners
+	// would prune by the wrong encoding and silently drop rows).
+	for _, ix := range t.Indexes {
+		if ix.Name == ci.Name {
+			if ix.Col == ci.Col {
+				return n.CreateIndex(t, ci.Name, ci.Col, 0) // refresh the announce
+			}
+			return fmt.Errorf("pier: index %q already covers %s(%s)", ci.Name, t.Name, ix.Col)
+		}
+	}
+	if err := n.CreateIndex(t, ci.Name, ci.Col, 0); err != nil {
+		return err
+	}
+	// Re-register the schema with the index declared — in the caller's
+	// catalog and in the DHT schema catalog — so both local ParseSQL and
+	// remote QuerySQL planners see it.
+	t.Indexes = append(t.Indexes, SQLIndex{Name: ci.Name, Col: ci.Col})
+	cat[ci.Table] = t
+	n.RegisterTable(t, 0)
+	return nil
+}

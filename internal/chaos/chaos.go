@@ -28,6 +28,7 @@ import (
 	"pier"
 	"pier/internal/core"
 	"pier/internal/env"
+	"pier/internal/index"
 	"pier/internal/opt"
 	"pier/internal/simnet"
 	"pier/internal/topology"
@@ -96,6 +97,18 @@ type Config struct {
 	// re-convergence invariant; zero disables both.
 	StatsInterval time.Duration
 
+	// RangeQueries creates a PHT index over S.num2 before the warmup
+	// (with per-node trie maintenance on IndexInterval) and swaps
+	// index-backed range queries into the generated mix, so index
+	// lookups, entry renewal, and split/merge healing run under the
+	// same faults — and the same recall comparison — as everything
+	// else.
+	RangeQueries bool
+
+	// IndexInterval is the trie maintenance period of RangeQueries
+	// scenarios; zero follows StatsInterval (or 30s when that is off).
+	IndexInterval time.Duration
+
 	// VerifyReplay re-runs the faulted scenario and asserts the trace
 	// fingerprint is identical — the determinism invariant.
 	VerifyReplay bool
@@ -130,6 +143,18 @@ func (c Config) Duration() time.Duration {
 	return time.Duration(c.Queries) * c.QueryEvery
 }
 
+// indexInterval is the effective trie maintenance period of a
+// RangeQueries scenario.
+func (c Config) indexInterval() time.Duration {
+	if c.IndexInterval > 0 {
+		return c.IndexInterval
+	}
+	if c.StatsInterval > 0 {
+		return c.StatsInterval
+	}
+	return 30 * time.Second
+}
+
 // Default is the pinned reference scenario the acceptance criteria and
 // the CI smoke run use: 64 nodes under 4 departures/min (30% graceful),
 // one 60 s partition isolating a quarter of the network mid-run, 1%
@@ -147,6 +172,17 @@ func Default(seed int64) Config {
 		StatsInterval: time.Minute,
 		VerifyReplay:  true,
 	}
+}
+
+// DefaultRange is the pinned reference scenario with the Prefix Hash
+// Tree in play: the same faults as Default, plus an index over S.num2
+// whose range queries replace part of the scan mix. CI smokes it
+// separately so index regressions fail loudly rather than diluting the
+// base scenario's trace.
+func DefaultRange(seed int64) Config {
+	cfg := Default(seed)
+	cfg.RangeQueries = true
+	return cfg
 }
 
 // queryOutcome records one executed query's results.
@@ -237,6 +273,9 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 	if cfg.StatsInterval > 0 {
 		opts.Stats.Interval = cfg.StatsInterval
 	}
+	if cfg.RangeQueries {
+		opts.Index.Interval = cfg.indexInterval()
+	}
 	sn := pier.NewSimNetwork(cfg.Nodes, topology.NewFullMesh(), cfg.Seed, opts)
 	if !faultless {
 		sn.SetLoss(cfg.BaseLoss)
@@ -264,6 +303,18 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 	}
 	driver := sn.Net.Node(0)
 	dnode := sn.Nodes[0]
+	if cfg.RangeQueries {
+		// The driver creates the index before the warmup; every node
+		// backfills its local S tuples and the warmup's maintenance
+		// ticks settle the trie. The definition is renewed by the
+		// driver's index agent while it runs.
+		err := dnode.Indexes().Create(index.Def{
+			Name: RangeIndexName, Table: "S", Col: "num2", ColIdx: workload.SNum2,
+		}, 3*cfg.indexInterval())
+		if err != nil {
+			panic(err)
+		}
+	}
 	teardown := false
 	var renewStops []func()
 	for i, p := range pubs {
@@ -298,7 +349,7 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 	sn.RunFor(cfg.Warmup)
 
 	res := &scenarioResult{}
-	for _, spec := range GenerateQueries(cfg.Queries, cfg.Seed) {
+	for _, spec := range GenerateQueriesMix(cfg.Queries, cfg.Seed, cfg.RangeQueries) {
 		spec := spec
 		out := queryOutcome{spec: spec, keys: map[string]bool{}}
 		plan := spec.Plan(cfg.STuples, cfg.QueryEvery)
@@ -344,11 +395,20 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 	for i, n := range sn.Nodes {
 		if sn.Alive(i) {
 			n.Stats().Stop()
+			n.Indexes().Stop()
 		}
 	}
 	tail := 2 * cfg.RefreshPeriod
 	if t := 3 * cfg.StatsInterval; t > tail {
 		tail = t
+	}
+	if cfg.RangeQueries {
+		// Index entries die with their tuples (2×refresh); the interior
+		// markers above them were last renewed just before the stop and
+		// take up to their full lifetime on top.
+		if t := 2*cfg.RefreshPeriod + 3*cfg.indexInterval(); t > tail {
+			tail = t
+		}
 	}
 	if cfg.QueryEvery > tail {
 		tail = cfg.QueryEvery

@@ -7,8 +7,13 @@ import (
 	"time"
 
 	"pier/internal/core"
+	"pier/internal/wire"
 	"pier/internal/workload"
 )
+
+// RangeIndexName is the PHT index a RangeQueries scenario creates over
+// S.num2.
+const RangeIndexName = "s_num2"
 
 // QueryKind classifies one generated workload query.
 type QueryKind int
@@ -26,10 +31,16 @@ const (
 	// per-window arrival counts legitimately differ under loss — but it
 	// must still terminate cleanly.
 	QContinuous
+	// QRange scans one table through the Prefix Hash Tree index
+	// (initiator-side trie traversal instead of a query multicast),
+	// exercising index lookups, entry renewal, and split/merge healing
+	// under the same faults as everything else. Requires the scenario
+	// to have created the index (Config.RangeQueries).
+	QRange
 )
 
 func (k QueryKind) String() string {
-	return [...]string{"select", "join", "aggregate", "continuous"}[k]
+	return [...]string{"select", "join", "aggregate", "continuous", "range"}[k]
 }
 
 // QuerySpec is one deterministic generated query.
@@ -48,13 +59,22 @@ type QuerySpec struct {
 // Recallable reports whether the query participates in the recall
 // comparison against the oracle run.
 func (q QuerySpec) Recallable() bool {
-	return q.Kind == QSelect || q.Kind == QJoin || q.Kind == QAggregate
+	return q.Kind == QSelect || q.Kind == QJoin || q.Kind == QAggregate || q.Kind == QRange
 }
 
 // GenerateQueries derives n query specs from a seed: a deterministic
 // mix of scans, joins across all four strategies, grouped aggregates,
 // and continuous queries.
 func GenerateQueries(n int, seed int64) []QuerySpec {
+	return GenerateQueriesMix(n, seed, false)
+}
+
+// GenerateQueriesMix is GenerateQueries with an optional range-query
+// flavor: when withRange is true, every other scan slot becomes an
+// index-backed range query (the scenario must have created the index).
+// The mix is a separate entry point so pinned-seed scenarios that
+// predate the index keep their exact traces.
+func GenerateQueriesMix(n int, seed int64, withRange bool) []QuerySpec {
 	rng := rand.New(rand.NewSource(seed ^ 0x9127c3a5))
 	sels := []float64{0.3, 0.5, 0.7}
 	specs := make([]QuerySpec, n)
@@ -74,7 +94,11 @@ func GenerateQueries(n int, seed int64) []QuerySpec {
 			q.Strategy = core.Strategy(joins % 4)
 			joins++
 		case 1:
-			q.Kind = QSelect
+			if withRange && i%8 == 1 {
+				q.Kind = QRange
+			} else {
+				q.Kind = QSelect
+			}
 		default:
 			if i%8 == 3 {
 				q.Kind = QContinuous
@@ -124,6 +148,24 @@ func (q QuerySpec) Plan(sTuples int, window time.Duration) *core.Plan {
 			Continuous: true,
 			Every:      10 * time.Second,
 			AggWait:    5 * time.Second,
+		}
+	case QRange:
+		// The QSelect predicate, served through the PHT instead of a
+		// multicast full scan. The encoded bound is inclusive (the
+		// encoding is non-strictly monotone); the Filter is the exact
+		// residual, as in planner-attached index scans.
+		p = &core.Plan{
+			Tables: []core.TableRef{{
+				NS:     "S",
+				Filter: &core.Cmp{Op: core.GT, L: &core.Col{Idx: workload.SNum2}, R: &core.Const{V: c2}},
+				RIDCol: workload.SPkey,
+				IndexScan: &core.IndexRangeScan{
+					Index: RangeIndexName,
+					Lo:    wire.OrderedKey(c2),
+					Hi:    wire.OrderedMax,
+				},
+			}},
+			Output: []core.Expr{&core.Col{Idx: workload.SPkey}, &core.Col{Idx: workload.SNum2}},
 		}
 	}
 	p.TTL = window

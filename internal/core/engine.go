@@ -51,6 +51,13 @@ type collector struct {
 	// no longer counted, keeping the observer exactly-once per window.
 	closed int
 	ttl    env.Timer
+	// contacted is the trie-node count of a completed index traversal
+	// (index-scan queries only; see Engine.IndexContacts).
+	contacted int
+	// local marks a query executed entirely on the initiator (index
+	// access path): nothing was multicast, so Cancel has nothing to
+	// tear down remotely.
+	local bool
 }
 
 // Engine is the per-node PIER query processor. One instance runs on
@@ -63,6 +70,7 @@ type Engine struct {
 	execs      map[uint64]*exec
 	collectors map[uint64]*collector
 	obs        Observer
+	ranger     IndexRanger
 	nodeIID    int64
 
 	// cancelled remembers recently cancelled query ids (bounded FIFO):
@@ -116,6 +124,14 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 	// The distributed execution dies at the TTL; drop the collector (and
 	// report the final window) with it.
 	c.ttl = eng.env.After(p.TTL, func() { eng.closeCollector(id) })
+	if eng.indexRunnable(p) {
+		// Index access path: traverse the PHT from here instead of
+		// multicasting the plan to every node (§4.3's missing range
+		// lookup, closed by internal/index).
+		c.local = true
+		eng.runIndexQuery(id, p)
+		return id, nil
+	}
 	eng.prov.Multicast(QueryNS, &queryMsg{ID: id, Initiator: eng.env.Addr(), Plan: p})
 	return id, nil
 }
@@ -125,11 +141,17 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 // network-wide — window timers stop and soft state stops being renewed,
 // so the query dies now instead of at its TTL.
 func (eng *Engine) Cancel(id uint64) {
-	if _, ok := eng.collectors[id]; !ok {
+	c, ok := eng.collectors[id]
+	if !ok {
 		return
 	}
+	local := c.local
 	eng.closeCollector(id)
-	eng.prov.Multicast(QueryNS, &cancelMsg{ID: id})
+	if !local {
+		// Initiator-side index queries never multicast, so there are
+		// no remote executors to tear down.
+		eng.prov.Multicast(QueryNS, &cancelMsg{ID: id})
+	}
 }
 
 // closeCollector reports every still-open window to the observer and

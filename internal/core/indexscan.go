@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"strconv"
+
+	"pier/internal/env"
+)
+
+// IndexRangeScan is the index access path of a single-table plan: scan
+// the named Prefix Hash Tree index (internal/index) over the inclusive
+// encoded-key range [Lo, Hi] instead of multicasting the query to every
+// node for a full namespace scan.
+//
+// Lo and Hi are order-preserving encoded keys (wire.OrderedKey). The
+// encoding is non-strictly monotone, so the range over-approximates the
+// value predicate; the table's Filter is always re-checked on every
+// fetched tuple, making the index purely an access-path optimization —
+// it can change what the query costs, never what it returns.
+type IndexRangeScan struct {
+	// Index names the PHT index to traverse.
+	Index string
+	// Lo and Hi are the inclusive encoded-key bounds (0 and MaxUint64
+	// leave the corresponding side unbounded).
+	Lo, Hi uint64
+}
+
+func (s *IndexRangeScan) String() string {
+	return fmt.Sprintf("index %s [%016x, %016x]", s.Index, s.Lo, s.Hi)
+}
+
+// WireSize implements env.Message so the spec can ride inside plans.
+func (s *IndexRangeScan) WireSize() int { return env.StringSize(s.Index) + 20 }
+
+// IndexRanger is the engine's hook into the PHT index subsystem
+// (implemented by index.Manager; core cannot import it). RangeScan
+// traverses the named index over [lo, hi], invoking each for every
+// entry found — possibly more than once per base tuple while the trie
+// rebalances, so callers deduplicate by (rid, iid) — and done with the
+// number of trie nodes contacted once the traversal completes.
+type IndexRanger interface {
+	RangeScan(index string, lo, hi uint64, each func(rid string, iid int64, t *Tuple), done func(contacted int))
+}
+
+// SetIndexRanger installs the index subsystem used to execute
+// IndexRangeScan plans initiated on this node (nil disables the fast
+// path; such plans then fall back to multicast full scans).
+func (eng *Engine) SetIndexRanger(r IndexRanger) { eng.ranger = r }
+
+// indexRunnable reports whether a validated plan initiated here can
+// execute through the index access path: a one-shot single-table plan
+// with an index range attached.
+func (eng *Engine) indexRunnable(p *Plan) bool {
+	return eng.ranger != nil && len(p.Tables) == 1 && !p.Continuous && p.Tables[0].IndexScan != nil
+}
+
+// runIndexQuery executes a single-table plan entirely from the
+// initiator: traverse the PHT, re-check the residual filter on each
+// fetched tuple, and feed the results (or locally combined aggregates)
+// straight into this node's own collector. No query multicast is sent
+// and no remote executor is instantiated — the whole point of the
+// index: the query contacts O(matching leaves) nodes instead of all n.
+func (eng *Engine) runIndexQuery(id uint64, p *Plan) {
+	tbl := p.Tables[0]
+	is := tbl.IndexScan
+	seen := make(map[string]bool)
+	groups := make(map[string]*partialGroup)
+	var order []string
+	deliver := func(ts []*Tuple) {
+		if len(ts) > 0 {
+			eng.HandleMessage(eng.env.Addr(), &resultMsg{ID: id, Window: 0, Tuples: ts})
+		}
+	}
+	eng.ranger.RangeScan(is.Index, is.Lo, is.Hi,
+		func(rid string, iid int64, t *Tuple) {
+			// The trie may hold an entry at two nodes mid-rebalance.
+			key := rid + "\x00" + strconv.FormatInt(iid, 10)
+			if seen[key] || t == nil {
+				return
+			}
+			seen[key] = true
+			// The index range over-approximates; the untouched Filter is
+			// the exact predicate.
+			if tbl.Filter != nil && !Truthy(tbl.Filter.Eval(t.Vals)) {
+				return
+			}
+			proj := t.Project(tbl.Project)
+			if len(p.Aggs) > 0 {
+				gkey := JoinKeyString(proj, p.GroupBy)
+				pg, ok := groups[gkey]
+				if !ok {
+					group := make([]Value, len(p.GroupBy))
+					for i, c := range p.GroupBy {
+						group[i] = proj.At(c)
+					}
+					states := make([]*AggState, len(p.Aggs))
+					for i := range states {
+						states[i] = &AggState{}
+					}
+					pg = &partialGroup{group: group, states: states}
+					groups[gkey] = pg
+					order = append(order, gkey)
+				}
+				for i, a := range p.Aggs {
+					pg.states[i].Update(proj.At(a.Col))
+				}
+				return
+			}
+			if p.PostFilter != nil && !Truthy(p.PostFilter.Eval(proj.Vals)) {
+				return
+			}
+			out := proj
+			if len(p.Output) > 0 {
+				vals := make([]Value, len(p.Output))
+				for i, e := range p.Output {
+					vals[i] = e.Eval(proj.Vals)
+				}
+				out = &Tuple{Rel: "result", Vals: vals, Pad: proj.Pad}
+			}
+			deliver([]*Tuple{out})
+		},
+		func(contacted int) {
+			if c, ok := eng.collectors[id]; ok {
+				c.contacted = contacted
+			}
+			if len(p.Aggs) == 0 {
+				return
+			}
+			// Traversal complete: finalize the locally combined groups.
+			var out []*Tuple
+			for _, gkey := range order {
+				pg := groups[gkey]
+				row := make([]Value, 0, len(pg.group)+len(pg.states))
+				row = append(row, pg.group...)
+				for i, s := range pg.states {
+					row = append(row, s.Final(p.Aggs[i].Kind))
+				}
+				if p.Having != nil && !Truthy(p.Having.Eval(row)) {
+					continue
+				}
+				t := &Tuple{Rel: "group", Vals: row}
+				if len(p.Output) > 0 {
+					vals := make([]Value, len(p.Output))
+					for i, e := range p.Output {
+						vals[i] = e.Eval(row)
+					}
+					t = &Tuple{Rel: "group", Vals: vals}
+				}
+				out = append(out, t)
+			}
+			deliver(out)
+		})
+}
+
+// IndexContacts reports how many trie nodes the index traversal of a
+// still-open query initiated here contacted (0 until the traversal
+// finishes; ok is false for unknown or already-closed queries).
+// Experiment harnesses compare this against the overlay size a full
+// scan multicasts to.
+func (eng *Engine) IndexContacts(id uint64) (int, bool) {
+	c, ok := eng.collectors[id]
+	if !ok {
+		return 0, false
+	}
+	return c.contacted, true
+}
+
+func init() { gob.Register(&IndexRangeScan{}) }

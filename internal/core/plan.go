@@ -64,6 +64,12 @@ type TableRef struct {
 	// resourceID (its primary key), needed by the semi-join rewrite to
 	// fetch base tuples back. -1 when unused.
 	RIDCol int
+	// IndexScan, when set on a single-table plan, names a Prefix Hash
+	// Tree index covering a sargable prefix of Filter: the initiator
+	// traverses the index over the encoded range instead of
+	// multicasting a full scan. Filter stays intact as the exact
+	// residual predicate.
+	IndexScan *IndexRangeScan
 }
 
 // AggKind is an aggregate function.
@@ -159,6 +165,14 @@ type Plan struct {
 	// cost-based choice before the query is disseminated; without a
 	// warmed catalog the default stands.
 	AutoStrategy bool
+
+	// AutoAccess marks a plan whose IndexScan was attached by the SQL
+	// planner rather than forced by the caller. The initiating node's
+	// statistics catalog may then drop the index in favor of a full
+	// scan when the estimated selectivity is too high for the index to
+	// pay off; a cold catalog keeps the index (the user created it for
+	// a reason).
+	AutoAccess bool
 }
 
 // Validate performs basic sanity checks and fills defaults.
@@ -220,6 +234,9 @@ func (p *Plan) WireSize() int {
 		n += env.StringSize(tr.NS) + 4*(len(tr.Project)+len(tr.JoinCols)) + 8
 		if tr.Filter != nil {
 			n += tr.Filter.WireSize()
+		}
+		if tr.IndexScan != nil {
+			n += tr.IndexScan.WireSize()
 		}
 	}
 	if p.PostFilter != nil {

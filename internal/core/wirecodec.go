@@ -24,6 +24,7 @@ const (
 	tagPlan
 	tagAggState
 	tagCancelMsg
+	tagIndexScan
 )
 
 const (
@@ -170,6 +171,18 @@ func init() {
 
 	wire.Register(tagPlan, &Plan{}, encodePlan, decodePlan)
 
+	wire.Register(tagIndexScan, &IndexRangeScan{},
+		func(e *wire.Encoder, m env.Message) {
+			s := m.(*IndexRangeScan)
+			e.String(s.Index)
+			// Encoded keys are high-entropy: fixed words beat varints.
+			e.Fixed64(s.Lo)
+			e.Fixed64(s.Hi)
+		},
+		func(d *wire.Decoder) env.Message {
+			return &IndexRangeScan{Index: d.String(), Lo: d.Fixed64(), Hi: d.Fixed64()}
+		})
+
 	wire.Register(tagCancelMsg, &cancelMsg{},
 		func(e *wire.Encoder, m env.Message) { e.Uvarint(m.(*cancelMsg).ID) },
 		func(d *wire.Decoder) env.Message { return &cancelMsg{ID: d.Uvarint()} })
@@ -244,6 +257,7 @@ func encodePlan(e *wire.Encoder, m env.Message) {
 		encodeInts(e, tr.Project)
 		encodeInts(e, tr.JoinCols)
 		e.Int(tr.RIDCol)
+		e.Message(tr.IndexScan)
 	}
 	e.Int(int(p.Strategy))
 	e.Message(p.PostFilter)
@@ -269,6 +283,7 @@ func encodePlan(e *wire.Encoder, m env.Message) {
 	e.Duration(p.Every)
 	e.Int(p.Windows)
 	e.Bool(p.AutoStrategy)
+	e.Bool(p.AutoAccess)
 }
 
 func decodePlan(d *wire.Decoder) env.Message {
@@ -281,6 +296,7 @@ func decodePlan(d *wire.Decoder) env.Message {
 			tr.Project = decodeInts(d)
 			tr.JoinCols = decodeInts(d)
 			tr.RIDCol = d.Int()
+			tr.IndexScan = indexScanField(d)
 			p.Tables = append(p.Tables, tr)
 		}
 	}
@@ -311,6 +327,7 @@ func decodePlan(d *wire.Decoder) env.Message {
 	p.Every = d.Duration()
 	p.Windows = d.Int()
 	p.AutoStrategy = d.Bool()
+	p.AutoAccess = d.Bool()
 	return p
 }
 
@@ -476,6 +493,21 @@ func filterField(d *wire.Decoder) *bloom.Filter {
 		return nil
 	}
 	return f
+}
+
+// indexScanField decodes an optional nested IndexRangeScan (nil stays
+// nil — most tables have no index access path).
+func indexScanField(d *wire.Decoder) *IndexRangeScan {
+	m := d.Message()
+	if m == nil {
+		return nil
+	}
+	s, ok := m.(*IndexRangeScan)
+	if !ok {
+		d.Fail("message is not an index scan")
+		return nil
+	}
+	return s
 }
 
 func planField(d *wire.Decoder) *Plan {

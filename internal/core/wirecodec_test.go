@@ -100,6 +100,10 @@ func randPlan(r *rand.Rand) *Plan {
 			tr.Filter = randExpr(r, 2)
 		}
 		tr.RIDCol = r.Intn(8) - 1
+		if r.Intn(3) == 0 {
+			lo := r.Uint64()
+			tr.IndexScan = &IndexRangeScan{Index: wiretest.Str(r, 8), Lo: lo, Hi: lo + uint64(r.Int63())}
+		}
 		if n := r.Intn(4); n > 0 {
 			tr.Project = make([]int, n)
 			tr.JoinCols = make([]int, n)
@@ -132,6 +136,7 @@ func randPlan(r *rand.Rand) *Plan {
 	p.ComputeNodes = r.Intn(64)
 	p.AggFanout = r.Intn(8)
 	p.AutoStrategy = r.Intn(2) == 0
+	p.AutoAccess = r.Intn(2) == 0
 	if r.Intn(4) == 0 {
 		p.Continuous = true
 		p.Every = time.Duration(1 + r.Int31())

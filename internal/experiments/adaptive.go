@@ -79,6 +79,10 @@ type BenchRecord struct {
 	StrategyBytes int64   `json:"strategy_bytes"`
 	TimeToLastSec float64 `json:"time_to_last_sec"`
 	ResultsPerSec float64 `json:"results_per_sec"`
+	// NodesContacted is the range scenario's comparison metric: trie
+	// nodes visited by an index traversal, or the multicast reach of a
+	// full scan. Zero for scenarios that do not measure it.
+	NodesContacted int `json:"nodes_contacted,omitempty"`
 }
 
 // WriteBenchJSON writes records as an indented JSON array (empty array,

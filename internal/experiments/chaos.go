@@ -99,3 +99,17 @@ func ChaosScenario(seed int64, full bool) *chaos.Report {
 	}
 	return chaos.Run(cfg)
 }
+
+// RangeChaosScenario runs the pinned-seed scenario with the Prefix
+// Hash Tree index in the workload mix: range queries traverse the trie
+// under churn, partitions, and loss, and are held to the same recall,
+// termination, soft-state-expiry, and replay-determinism invariants.
+func RangeChaosScenario(seed int64, full bool) *chaos.Report {
+	cfg := chaos.DefaultRange(seed)
+	if full {
+		cfg.Nodes = 256
+		cfg.STuples = 200
+		cfg.Queries = 16
+	}
+	return chaos.Run(cfg)
+}

@@ -1,0 +1,244 @@
+package index_test
+
+// End-to-end tests of the Prefix Hash Tree over a simulated deployment:
+// CREATE INDEX on loaded data backfills and splits into a trie, range
+// queries via the engine's index path return exactly the reference
+// results while contacting a fraction of the overlay, and expiring the
+// bulk of the data shrinks the trie back (merge + orphan expiry).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier"
+	"pier/internal/core"
+	"pier/internal/dht/storage"
+	"pier/internal/index"
+	"pier/internal/topology"
+)
+
+const (
+	testNodes  = 24
+	testTuples = 300
+)
+
+var testSchema = pier.SQLTable{
+	Name: "T", Cols: []string{"pkey", "num"}, Key: "pkey",
+	Indexes: []pier.SQLIndex{{Name: "t_num", Col: "num"}},
+}
+
+// buildIndexed returns a simulated deployment with table T loaded
+// (lifetime 0 = immortal), indexed on num, and the trie settled.
+func buildIndexed(t *testing.T, lifetime time.Duration) *pier.SimNetwork {
+	t.Helper()
+	opts := pier.DefaultOptions()
+	opts.Index.Interval = 10 * time.Second
+	sn := pier.NewSimNetwork(testNodes, topology.NewFullMesh(), 5, opts)
+	for i := 0; i < testTuples; i++ {
+		tp := &pier.Tuple{Rel: "T", Vals: []pier.Value{int64(i), num(i)}}
+		sn.Load("T", fmt.Sprint(i), int64(i), tp, lifetime)
+	}
+	sn.Nodes[0].RegisterTable(testSchema, time.Hour)
+	if err := sn.Nodes[0].CreateIndex(testSchema, "t_num", "num", time.Hour); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	// Backfill then enough ticks for the trie to descend the shared
+	// prefix chain and split below the leaf threshold.
+	sn.RunFor(4 * time.Minute)
+	return sn
+}
+
+// num spreads the indexed values deterministically over [0, 1e6).
+func num(i int) int64 { return int64(i*7919) % 1_000_000 }
+
+// countIndexItems tallies entries and markers across all live stores.
+func countIndexItems(sn *pier.SimNetwork) (entries, markers int) {
+	for i, n := range sn.Nodes {
+		if !sn.Alive(i) {
+			continue
+		}
+		n.Provider().Scan(index.NS, func(it *storage.Item) bool {
+			switch it.Payload.(type) {
+			case *index.Entry:
+				entries++
+			case *index.Marker:
+				markers++
+			}
+			return true
+		})
+	}
+	return entries, markers
+}
+
+// rangeQuery runs num < hi through the SQL planner (which attaches the
+// index scan) and returns the received pkeys plus the trie nodes the
+// traversal contacted.
+func rangeQuery(t *testing.T, sn *pier.SimNetwork, hi int64, forceIndex bool) (got map[int64]bool, contacted int) {
+	t.Helper()
+	src := fmt.Sprintf("SELECT pkey FROM T WHERE num < %d", hi)
+	plan, err := pier.ParseSQL(src, pier.Catalog{"T": testSchema})
+	if err != nil {
+		t.Fatalf("ParseSQL: %v", err)
+	}
+	if plan.Tables[0].IndexScan == nil {
+		t.Fatalf("planner did not attach an index scan to %q", src)
+	}
+	if forceIndex {
+		plan.AutoAccess = false // bypass the catalog's access choice
+	}
+	plan.TTL = 5 * time.Minute
+	got = map[int64]bool{}
+	id, err := sn.Nodes[0].Query(plan, func(tp *core.Tuple, _ int) {
+		got[tp.Vals[0].(int64)] = true
+	})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	sn.RunFor(2 * time.Minute)
+	contacted, _ = sn.Nodes[0].Engine().IndexContacts(id)
+	sn.Nodes[0].Cancel(id)
+	return got, contacted
+}
+
+func expectRange(hi int64) map[int64]bool {
+	want := map[int64]bool{}
+	for i := 0; i < testTuples; i++ {
+		if num(i) < hi {
+			want[int64(i)] = true
+		}
+	}
+	return want
+}
+
+func TestIndexBuildsAndAnswersRangeQueries(t *testing.T) {
+	sn := buildIndexed(t, 0)
+
+	entries, markers := countIndexItems(sn)
+	if entries < testTuples {
+		t.Fatalf("backfill incomplete: %d entries for %d tuples", entries, testTuples)
+	}
+	if markers == 0 {
+		t.Fatalf("no interior markers: the trie never split")
+	}
+
+	for _, hi := range []int64{50_000, 400_000, 999_999} {
+		got, contacted := rangeQuery(t, sn, hi, true)
+		want := expectRange(hi)
+		if len(got) != len(want) {
+			t.Fatalf("num < %d: got %d rows, want %d", hi, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("num < %d: missing pkey %d", hi, k)
+			}
+		}
+		if contacted == 0 {
+			t.Fatalf("num < %d: traversal reported no contacted trie nodes", hi)
+		}
+	}
+
+	// Selective ranges must touch a small corner of the trie.
+	_, contacted := rangeQuery(t, sn, 50_000, true)
+	if _, markers := countIndexItems(sn); contacted >= markers {
+		t.Fatalf("selective range contacted %d trie nodes of %d markers — no pruning", contacted, markers)
+	}
+}
+
+// TestCreateIndexNameConflictRejected pins the re-CREATE semantics: an
+// identical re-run is an idempotent refresh, but reusing a name for a
+// different column must fail — the trie stays keyed on the first
+// column, so accepting the second would let planners prune by the
+// wrong encoding.
+func TestCreateIndexNameConflictRejected(t *testing.T) {
+	opts := pier.DefaultOptions()
+	sn := pier.NewSimNetwork(4, topology.NewFullMesh(), 9, opts)
+	cat := pier.Catalog{"T": {Name: "T", Cols: []string{"pkey", "num"}, Key: "pkey"}}
+	node := sn.Nodes[0]
+
+	if err := node.Exec("CREATE INDEX t_ix ON T (num)", cat); err != nil {
+		t.Fatalf("first CREATE INDEX: %v", err)
+	}
+	sn.RunFor(time.Second) // deliver the announce
+	if err := node.Exec("CREATE INDEX t_ix ON T (num)", cat); err != nil {
+		t.Fatalf("idempotent re-run rejected: %v", err)
+	}
+	if got := len(cat["T"].Indexes); got != 1 {
+		t.Fatalf("re-run duplicated the declaration: %d entries", got)
+	}
+	if err := node.Exec("CREATE INDEX t_ix ON T (pkey)", cat); err == nil {
+		t.Fatalf("conflicting CREATE INDEX over another column accepted")
+	}
+	if err := node.Indexes().Create(index.Def{Name: "t_ix", Table: "T", Col: "pkey", ColIdx: 0}, 0); err == nil {
+		t.Fatalf("Manager.Create accepted a known-conflicting definition")
+	}
+}
+
+// TestDefCacheAgesOutWithDeadCreator pins the cache side of the
+// soft-state promise: when an index's creator dies and its DefNS item
+// expires, every node's cached definition must age out too — otherwise
+// the orphaned trie would be re-fed and its marker chains renewed
+// forever.
+func TestDefCacheAgesOutWithDeadCreator(t *testing.T) {
+	opts := pier.DefaultOptions()
+	opts.Index.Interval = 10 * time.Second
+	sn := pier.NewSimNetwork(8, topology.NewFullMesh(), 13, opts)
+	schema := pier.SQLTable{Name: "T", Cols: []string{"pkey", "num"}, Key: "pkey"}
+	if err := sn.Nodes[0].CreateIndex(schema, "t_num", "num", 30*time.Second); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	sn.RunFor(15 * time.Second)
+	if len(sn.Nodes[3].Indexes().Defs("T")) == 0 {
+		t.Fatalf("announce did not reach node 3")
+	}
+
+	sn.Crash(0) // the creator stops renewing the definition
+	sn.RunFor(2 * time.Minute)
+	for i := 1; i < len(sn.Nodes); i++ {
+		if !sn.Alive(i) {
+			continue
+		}
+		if defs := sn.Nodes[i].Indexes().Defs("T"); len(defs) != 0 {
+			t.Fatalf("node %d still caches %v after the definition expired", i, defs)
+		}
+	}
+}
+
+func TestIndexShrinksWhenDataExpires(t *testing.T) {
+	// Long enough to survive buildIndexed's settle; short enough that
+	// unrenewed tuples age out within the renewal phases below.
+	lifetime := 10 * time.Minute
+	sn := buildIndexed(t, lifetime)
+	_, grownMarkers := countIndexItems(sn)
+	if grownMarkers == 0 {
+		t.Fatalf("no interior markers after load")
+	}
+
+	// Keep renewing only the 20 smallest pkeys; everything else — base
+	// tuples and index entries alike — ages out, and the trie must
+	// merge/expire back toward a small tree.
+	keep := 20
+	for phase := 0; phase < 14; phase++ {
+		for i := 0; i < keep; i++ {
+			tp := &pier.Tuple{Rel: "T", Vals: []pier.Value{int64(i), num(i)}}
+			sn.Nodes[0].Renew("T", fmt.Sprint(i), int64(i), tp, lifetime)
+		}
+		sn.RunFor(time.Minute)
+	}
+
+	entries, markers := countIndexItems(sn)
+	if entries > 2*keep {
+		t.Fatalf("%d entries still indexed; want about %d", entries, keep)
+	}
+	if markers >= grownMarkers/2 {
+		t.Fatalf("trie did not shrink: %d markers now vs %d grown", markers, grownMarkers)
+	}
+
+	// The survivors must still be exactly rangeable.
+	got, _ := rangeQuery(t, sn, 1_000_000, true)
+	for i := 0; i < keep; i++ {
+		if !got[int64(i)] {
+			t.Fatalf("surviving pkey %d missing from range query (got %d rows)", i, len(got))
+		}
+	}
+}

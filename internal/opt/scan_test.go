@@ -1,0 +1,66 @@
+package opt
+
+import (
+	"testing"
+	"time"
+)
+
+func scanNet() NetStats {
+	return NetStats{Nodes: 1024, HopLatency: 100 * time.Millisecond}
+}
+
+// TestChooseScanPicksIndexWhenSelective pins the acceptance-criteria
+// shape: at ≤1% selectivity the index path must win, at 50% the full
+// scan must.
+func TestChooseScanPicksIndexWhenSelective(t *testing.T) {
+	table := TableStats{Tuples: 100_000, TupleBytes: 128}
+
+	for _, sel := range []float64{0.001, 0.01} {
+		table.Selectivity = sel
+		useIndex, idx, full := ChooseScan(table, scanNet(), 16)
+		if !useIndex {
+			t.Errorf("selectivity %.3f: chose full scan (index %.0f msgs vs full %.0f)",
+				sel, idx.Messages, full.Messages)
+		}
+	}
+	for _, sel := range []float64{0.5, 1.0} {
+		table.Selectivity = sel
+		useIndex, idx, full := ChooseScan(table, scanNet(), 16)
+		if useIndex {
+			t.Errorf("selectivity %.2f: chose index scan (index %.0f msgs vs full %.0f)",
+				sel, idx.Messages, full.Messages)
+		}
+	}
+}
+
+// TestChooseScanMonotone asserts the index cost grows with selectivity
+// while the full-scan cost stays flat — the crossover exists and is
+// unique.
+func TestChooseScanMonotone(t *testing.T) {
+	table := TableStats{Tuples: 50_000, TupleBytes: 64}
+	prev := -1.0
+	flat := -1.0
+	for _, sel := range []float64{0.001, 0.01, 0.05, 0.2, 0.5, 1.0} {
+		table.Selectivity = sel
+		_, idx, full := ChooseScan(table, scanNet(), 16)
+		if idx.Messages < prev {
+			t.Errorf("index cost fell from %.0f to %.0f at selectivity %.3f", prev, idx.Messages, sel)
+		}
+		prev = idx.Messages
+		if flat >= 0 && full.Messages != flat {
+			t.Errorf("full-scan cost moved with selectivity: %.0f vs %.0f", full.Messages, flat)
+		}
+		flat = full.Messages
+	}
+}
+
+// TestChooseScanTinyNetwork asserts a deployment small enough that the
+// multicast is nearly free prefers the full scan even for selective
+// predicates — indexes are not a universal win.
+func TestChooseScanTinyNetwork(t *testing.T) {
+	table := TableStats{Tuples: 100_000, Selectivity: 0.05}
+	useIndex, idx, full := ChooseScan(table, NetStats{Nodes: 8, HopLatency: time.Millisecond}, 16)
+	if useIndex {
+		t.Errorf("8-node network: chose index (%.0f msgs) over full scan (%.0f)", idx.Messages, full.Messages)
+	}
+}

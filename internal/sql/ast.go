@@ -83,3 +83,11 @@ type Stmt struct {
 	Having   Node
 	Strategy string // optional USING STRATEGY '<name>' extension
 }
+
+// CreateIndexStmt is a parsed CREATE INDEX name ON table (col)
+// statement — the DDL front end of the Prefix Hash Tree range index.
+type CreateIndexStmt struct {
+	Name  string
+	Table string
+	Col   string
+}

@@ -35,7 +35,7 @@ var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
 	"HAVING": true, "AS": true, "AND": true, "OR": true, "NOT": true,
 	"TRUE": true, "FALSE": true, "NULL": true, "USING": true, "STRATEGY": true,
-	"IN": true,
+	"IN": true, "CREATE": true, "INDEX": true, "ON": true,
 }
 
 type lexer struct {

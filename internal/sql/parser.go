@@ -8,17 +8,70 @@ import (
 
 // Parse parses one SELECT statement.
 func Parse(src string) (*Stmt, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Stmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+// ParseStatement parses one statement of either supported kind,
+// returning *Stmt for SELECT or *CreateIndexStmt for CREATE INDEX.
+func ParseStatement(src string) (any, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	st, err := p.parseSelect()
+	var st any
+	if t := p.peek(); t.kind == tokKeyword && t.text == "CREATE" {
+		st, err = p.parseCreateIndex()
+	} else {
+		st, err = p.parseSelect()
+	}
 	if err != nil {
 		return nil, err
 	}
 	if !p.atEOF() {
 		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+// parseCreateIndex parses CREATE INDEX name ON table (col).
+func (p *parser) parseCreateIndex() (*CreateIndexStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	st := &CreateIndexStmt{}
+	var err error
+	if st.Name, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if st.Table, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if !p.acceptSymbol("(") {
+		return nil, p.errf("expected ( after table name")
+	}
+	if st.Col, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol(",") {
+		return nil, p.errf("PHT indexes cover a single column")
+	}
+	if !p.acceptSymbol(")") {
+		return nil, p.errf("expected ) after column name")
 	}
 	return st, nil
 }

@@ -5,14 +5,25 @@ import (
 	"strings"
 
 	"pier/internal/core"
+	"pier/internal/wire"
 )
 
-// Table describes a relation to the planner: its column names and the
-// primary-key column (which PIER uses as the base resourceID, §3.2.3).
+// Table describes a relation to the planner: its column names, the
+// primary-key column (which PIER uses as the base resourceID, §3.2.3),
+// and any Prefix Hash Tree indexes declared over its columns.
 type Table struct {
+	Name    string
+	Cols    []string
+	Key     string
+	Indexes []Index
+}
+
+// Index declares one PHT range index over a table column; the planner
+// rewrites sargable predicates on Col into an IndexRangeScan over the
+// index named Name.
+type Index struct {
 	Name string
-	Cols []string
-	Key  string
+	Col  string
 }
 
 // Catalog maps table names to schemas. The paper envisions these as the
@@ -116,6 +127,7 @@ func (p *planner) lower() (*core.Plan, error) {
 		}
 	}
 	plan.PostFilter = andAll(post)
+	p.attachIndexScan(plan)
 
 	if err := p.lowerProjection(plan); err != nil {
 		return nil, err
@@ -357,6 +369,154 @@ func (p *planner) toAggExpr(n Node, aggs []aggRef, aliases map[string]Node) (cor
 	}
 }
 
+// attachIndexScan rewrites the sargable part of a single-table WHERE
+// clause into an IndexRangeScan: conjuncts of the shape col ⊙ literal
+// (either orientation) on an indexed column tighten an encoded-key
+// interval, and the tightest non-trivial interval is attached to the
+// plan with AutoAccess set, so the initiating node's statistics catalog
+// can still fall back to the full scan when the range is too broad.
+// The table's Filter is left intact as the exact residual predicate —
+// the order-preserving encoding is (deliberately) lossy, so the index
+// only prunes, never decides.
+func (p *planner) attachIndexScan(plan *core.Plan) {
+	if len(p.tables) != 1 || len(p.tables[0].Indexes) == 0 {
+		return
+	}
+	tb := p.tables[0]
+	type interval struct {
+		lo, hi  uint64
+		bounded bool
+	}
+	byCol := map[int]*interval{}
+	for _, c := range conjuncts(p.st.Where) {
+		ci, op, v, ok := p.sargable(c)
+		if !ok {
+			continue
+		}
+		iv := byCol[ci]
+		if iv == nil {
+			iv = &interval{lo: 0, hi: ^uint64(0)}
+			byCol[ci] = iv
+		}
+		k := wire.OrderedKey(v)
+		// The encoding is non-strictly monotone, so strict bounds stay
+		// inclusive here (values sharing the boundary's encoding must
+		// survive pruning); the residual Filter applies the strictness.
+		switch op {
+		case core.EQ:
+			if k > iv.lo {
+				iv.lo = k
+			}
+			if k < iv.hi {
+				iv.hi = k
+			}
+		case core.LT, core.LE:
+			if k < iv.hi {
+				iv.hi = k
+			}
+		case core.GT, core.GE:
+			if k > iv.lo {
+				iv.lo = k
+			}
+		default: // NE prunes nothing
+			continue
+		}
+		iv.bounded = true
+	}
+	for _, idx := range tb.Indexes {
+		ci := tb.Col(idx.Col)
+		iv := byCol[ci]
+		if ci < 0 || iv == nil || !iv.bounded {
+			continue
+		}
+		plan.Tables[0].IndexScan = &core.IndexRangeScan{Index: idx.Name, Lo: iv.lo, Hi: iv.hi}
+		plan.AutoAccess = true
+		return
+	}
+}
+
+// sargable recognizes a conjunct of the shape col ⊙ literal or
+// literal ⊙ col over the single FROM table, normalizing all six
+// comparison operators symmetrically (5 < x is x > 5, and so on) —
+// never by desugaring some into others. It returns the column index
+// and the operator as seen with the column on the left.
+func (p *planner) sargable(n Node) (col int, op core.CmpOp, v core.Value, ok bool) {
+	b, isBin := n.(*BinOp)
+	if !isBin {
+		return 0, 0, nil, false
+	}
+	cmpOp, isCmp := cmpOpByName[b.Op]
+	if !isCmp {
+		return 0, 0, nil, false
+	}
+	cr, crOK := b.L.(*ColRef)
+	lit, litOK := literalValue(b.R)
+	if !crOK || !litOK {
+		// Flipped orientation: literal ⊙ col.
+		cr, crOK = b.R.(*ColRef)
+		lit, litOK = literalValue(b.L)
+		if !crOK || !litOK {
+			return 0, 0, nil, false
+		}
+		cmpOp = flipCmp(cmpOp)
+	}
+	ti, ci, err := p.resolveCol(cr)
+	if err != nil || ti != 0 {
+		return 0, 0, nil, false
+	}
+	return ci, cmpOp, lit, true
+}
+
+// cmpOpByName maps every SQL comparison to its first-class core.Cmp
+// operator — all six, with no asymmetric desugaring.
+var cmpOpByName = map[string]core.CmpOp{
+	"=": core.EQ, "!=": core.NE, "<": core.LT, "<=": core.LE, ">": core.GT, ">=": core.GE,
+}
+
+// flipCmp mirrors an operator across its operands (literal ⊙ col →
+// col ⊙' literal).
+func flipCmp(op core.CmpOp) core.CmpOp {
+	switch op {
+	case core.LT:
+		return core.GT
+	case core.LE:
+		return core.GE
+	case core.GT:
+		return core.LT
+	case core.GE:
+		return core.LE
+	default: // EQ and NE are symmetric
+		return op
+	}
+}
+
+// literalValue extracts the core.Value of a literal AST node.
+func literalValue(n Node) (core.Value, bool) {
+	switch n := n.(type) {
+	case *NumLit:
+		if n.IsFloat {
+			v := n.Float
+			if n.Neg {
+				v = -v
+			}
+			return v, true
+		}
+		v := n.Int
+		if n.Neg {
+			v = -v
+		}
+		return v, true
+	case *StrLit:
+		return n.S, true
+	case *BoolLit:
+		return n.B, true
+	case *NullLit:
+		return nil, true
+	default:
+		return nil, false
+	}
+}
+
 // conjuncts flattens a WHERE tree over AND.
 func conjuncts(n Node) []Node {
 	if n == nil {
@@ -490,25 +650,9 @@ func (p *planner) concatResolver() colResolver {
 // resolver.
 func (p *planner) toExpr(n Node, res colResolver) (core.Expr, error) {
 	switch n := n.(type) {
-	case *NumLit:
-		if n.IsFloat {
-			v := n.Float
-			if n.Neg {
-				v = -v
-			}
-			return &core.Const{V: v}, nil
-		}
-		v := n.Int
-		if n.Neg {
-			v = -v
-		}
+	case *NumLit, *StrLit, *BoolLit, *NullLit:
+		v, _ := literalValue(n)
 		return &core.Const{V: v}, nil
-	case *StrLit:
-		return &core.Const{V: n.S}, nil
-	case *BoolLit:
-		return &core.Const{V: n.B}, nil
-	case *NullLit:
-		return &core.Const{V: nil}, nil
 	case *ColRef:
 		idx, err := res(n)
 		if err != nil {
@@ -550,23 +694,14 @@ func (p *planner) toExpr(n Node, res colResolver) (core.Expr, error) {
 }
 
 func binToCore(op string, l, r core.Expr) (core.Expr, error) {
+	if cmpOp, ok := cmpOpByName[op]; ok {
+		return &core.Cmp{Op: cmpOp, L: l, R: r}, nil
+	}
 	switch op {
 	case "AND":
 		return &core.And{L: l, R: r}, nil
 	case "OR":
 		return &core.Or{L: l, R: r}, nil
-	case "=":
-		return &core.Cmp{Op: core.EQ, L: l, R: r}, nil
-	case "!=":
-		return &core.Cmp{Op: core.NE, L: l, R: r}, nil
-	case "<":
-		return &core.Cmp{Op: core.LT, L: l, R: r}, nil
-	case "<=":
-		return &core.Cmp{Op: core.LE, L: l, R: r}, nil
-	case ">":
-		return &core.Cmp{Op: core.GT, L: l, R: r}, nil
-	case ">=":
-		return &core.Cmp{Op: core.GE, L: l, R: r}, nil
 	case "+":
 		return &core.Arith{Op: core.Add, L: l, R: r}, nil
 	case "-":

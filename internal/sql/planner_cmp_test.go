@@ -1,0 +1,148 @@
+package sql
+
+// Table tests for the comparison normalization: all six operators
+// lower to first-class core.Cmp ops (no asymmetric desugaring), in
+// both operand orientations, and the sargable-predicate rewrite
+// extracts the same six symmetrically when an index covers the column.
+
+import (
+	"fmt"
+	"testing"
+
+	"pier/internal/core"
+	"pier/internal/wire"
+)
+
+var cmpCat = Catalog{
+	"T": {Name: "T", Cols: []string{"pkey", "num"}, Key: "pkey",
+		Indexes: []Index{{Name: "t_num", Col: "num"}}},
+}
+
+// filterCmp digs the single Cmp out of a planned table filter.
+func filterCmp(t *testing.T, src string) *core.Cmp {
+	t.Helper()
+	p, err := Plan(src, cmpCat)
+	if err != nil {
+		t.Fatalf("Plan(%q): %v", src, err)
+	}
+	c, ok := p.Tables[0].Filter.(*core.Cmp)
+	if !ok {
+		t.Fatalf("Plan(%q): filter is %T, want *core.Cmp", src, p.Tables[0].Filter)
+	}
+	return c
+}
+
+func TestAllSixComparisonsLowerToFirstClassCmp(t *testing.T) {
+	cases := []struct {
+		op   string
+		want core.CmpOp
+	}{
+		{"=", core.EQ}, {"!=", core.NE}, {"<>", core.NE},
+		{"<", core.LT}, {"<=", core.LE}, {">", core.GT}, {">=", core.GE},
+	}
+	for _, tc := range cases {
+		c := filterCmp(t, fmt.Sprintf("SELECT pkey FROM T WHERE num %s 7", tc.op))
+		if c.Op != tc.want {
+			t.Errorf("num %s 7: lowered to %v, want %v", tc.op, c.Op, tc.want)
+		}
+		if _, isCol := c.L.(*core.Col); !isCol {
+			t.Errorf("num %s 7: left operand is %T, want column", tc.op, c.L)
+		}
+	}
+}
+
+func TestFlippedComparisonsStayFirstClass(t *testing.T) {
+	// 7 ⊙ num keeps the literal on the left in the filter (no
+	// rewriting of the expression tree), but the sargable extractor
+	// must still normalize the operator.
+	cases := []struct {
+		op   string
+		want core.CmpOp // as stored, literal on the left
+	}{
+		{"=", core.EQ}, {"!=", core.NE},
+		{"<", core.LT}, {"<=", core.LE}, {">", core.GT}, {">=", core.GE},
+	}
+	for _, tc := range cases {
+		c := filterCmp(t, fmt.Sprintf("SELECT pkey FROM T WHERE 7 %s num", tc.op))
+		if c.Op != tc.want {
+			t.Errorf("7 %s num: lowered to %v, want %v", tc.op, c.Op, tc.want)
+		}
+	}
+}
+
+func TestSargableExtractionBothOrientations(t *testing.T) {
+	k := wire.OrderedKey(int64(7))
+	cases := []struct {
+		src    string
+		lo, hi uint64
+	}{
+		{"num = 7", k, k},
+		{"num < 7", 0, k},
+		{"num <= 7", 0, k},
+		{"num > 7", k, ^uint64(0)},
+		{"num >= 7", k, ^uint64(0)},
+		// Flipped orientation normalizes to the same intervals.
+		{"7 = num", k, k},
+		{"7 > num", 0, k},  // 7 > num ⇔ num < 7
+		{"7 >= num", 0, k}, // ⇔ num <= 7
+		{"7 < num", k, ^uint64(0)},
+		{"7 <= num", k, ^uint64(0)},
+		// BETWEEN shape: two conjuncts tighten both sides.
+		{"num >= 7 AND num <= 7", k, k},
+	}
+	for _, tc := range cases {
+		p, err := Plan("SELECT pkey FROM T WHERE "+tc.src, cmpCat)
+		if err != nil {
+			t.Fatalf("Plan(%q): %v", tc.src, err)
+		}
+		is := p.Tables[0].IndexScan
+		if is == nil {
+			t.Errorf("%s: no index scan attached", tc.src)
+			continue
+		}
+		if is.Index != "t_num" || is.Lo != tc.lo || is.Hi != tc.hi {
+			t.Errorf("%s: got [%x, %x] on %s, want [%x, %x] on t_num",
+				tc.src, is.Lo, is.Hi, is.Index, tc.lo, tc.hi)
+		}
+		if !p.AutoAccess {
+			t.Errorf("%s: AutoAccess not set", tc.src)
+		}
+		if p.Tables[0].Filter == nil {
+			t.Errorf("%s: residual filter was dropped", tc.src)
+		}
+	}
+}
+
+func TestNotSargable(t *testing.T) {
+	for _, src := range []string{
+		"num != 7",             // NE prunes nothing
+		"pkey < 7",             // no index on pkey
+		"num + 1 < 7",          // not a bare column
+		"num < pkey",           // no literal side
+		"num < 7 OR num > 900", // disjunction is not a conjunct
+	} {
+		p, err := Plan("SELECT pkey FROM T WHERE "+src, cmpCat)
+		if err != nil {
+			t.Fatalf("Plan(%q): %v", src, err)
+		}
+		if p.Tables[0].IndexScan != nil {
+			t.Errorf("%s: unexpected index scan %v", src, p.Tables[0].IndexScan)
+		}
+	}
+}
+
+func TestJoinPlansGetNoIndexScan(t *testing.T) {
+	cat := Catalog{
+		"T": cmpCat["T"],
+		"U": {Name: "U", Cols: []string{"pkey", "ref"}, Key: "pkey"},
+	}
+	p, err := Plan("SELECT T.pkey FROM T, U WHERE T.pkey = U.ref AND T.num < 7", cat)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	for i, tr := range p.Tables {
+		if tr.IndexScan != nil {
+			t.Errorf("table %d of a join carries an index scan", i)
+		}
+	}
+}

@@ -496,8 +496,18 @@ func hashedOnJoin(tr core.TableRef) bool {
 // relation an unbiased sample of the whole, so even one node's slice
 // calibrates the predicate.
 func (c *Catalog) sampleSelectivity(tr core.TableRef) float64 {
+	sel, _ := c.sampleSelectivityOK(tr)
+	return sel
+}
+
+// sampleSelectivityOK is sampleSelectivity with the sample size made
+// visible: sampled is false when this node stores no tuples of the
+// table at all, in which case the returned 1 is a worst-case
+// placeholder, not an estimate. Callers that would make a pessimizing
+// decision on it (ChooseAccess) should decline to answer instead.
+func (c *Catalog) sampleSelectivityOK(tr core.TableRef) (sel float64, sampled bool) {
 	if tr.Filter == nil {
-		return 1
+		return 1, true
 	}
 	limit := c.cfg.sampleLimit()
 	seen, passed := 0, 0
@@ -513,15 +523,15 @@ func (c *Catalog) sampleSelectivity(tr core.TableRef) float64 {
 		return seen < limit
 	})
 	if seen == 0 {
-		return 1 // no local sample: assume nothing
+		return 1, false // no local sample: assume nothing
 	}
-	sel := float64(passed) / float64(seen)
+	sel = float64(passed) / float64(seen)
 	if sel <= 0 {
 		// Clamp away from zero: a small local sample missing every
 		// match must not convince the optimizer the table is empty.
 		sel = 0.5 / float64(seen)
 	}
-	return sel
+	return sel, true
 }
 
 func pairKey(p *core.Plan) string {
@@ -588,6 +598,36 @@ func (c *Catalog) ChooseStrategy(p *core.Plan) (core.Strategy, []opt.Estimate, b
 		return e.Strategy, ests, true
 	}
 	return 0, ests, false
+}
+
+// ChooseAccess decides whether a single-table plan carrying an
+// index-scan candidate should actually use the index, by pricing both
+// access paths (opt.ChooseScan) with the cached table cardinality and
+// a local selectivity sample of the plan's filter. leafCapacity is the
+// index's split threshold (opt.DefaultLeafCapacity when zero). ok is
+// false while the catalog cannot answer (no index candidate, or the
+// table missing from the cache — an async Fetch is kicked off so the
+// next query finds it warm); the caller then keeps the plan as is.
+func (c *Catalog) ChooseAccess(p *core.Plan, leafCapacity int) (useIndex bool, ok bool) {
+	if len(p.Tables) != 1 || p.Tables[0].IndexScan == nil {
+		return false, false
+	}
+	ts, cached := c.Cached(p.Tables[0].NS)
+	if !cached {
+		c.Fetch(p.Tables[0].NS, nil)
+		return false, false
+	}
+	sel, sampled := c.sampleSelectivityOK(p.Tables[0])
+	if !sampled {
+		// No local fragment of the table to calibrate against: the
+		// worst-case placeholder would always strip the index, so
+		// decline (the caller keeps the plan as written) rather than
+		// pessimize on no evidence.
+		return false, false
+	}
+	ts.Selectivity = sel
+	useIndex, _, _ = opt.ChooseScan(ts, c.NetStats(), leafCapacity)
+	return useIndex, true
 }
 
 // --- feedback ----------------------------------------------------------

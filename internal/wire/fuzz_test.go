@@ -8,6 +8,7 @@ import (
 	"pier/internal/dht/multicast"
 	"pier/internal/dht/storage"
 	"pier/internal/env"
+	"pier/internal/index"
 	"pier/internal/stats"
 	"pier/internal/wire"
 	"pier/internal/workload"
@@ -41,6 +42,8 @@ func fuzzSeedMessages() []env.Message {
 		&core.AggState{Count: 3, SumI: 12, MinV: int64(1), MaxV: int64(9), Seen: true},
 		&stats.Summary{Table: "R", Nodes: 2, Tuples: 100, Bytes: 4096, Keys: sketch},
 		&multicast.FloodMsg{Origin: "sim:1", Seq: 9, Hint: []uint32{1, 2, 3, 4}, Payload: item},
+		&index.Entry{K: wire.OrderedKey(int64(49)), RID: "42", IID: 3, T: tuple},
+		&index.Def{Name: "r_num2", Table: "R", Col: "num2", ColIdx: 2},
 	}
 }
 

@@ -1,0 +1,103 @@
+package wire
+
+import "math"
+
+// Order-preserving key encoding for the Prefix Hash Tree range index
+// (internal/index). A plain DHT key is an opaque hash: equal values
+// collide, nothing else is adjacent, and a range predicate degenerates
+// into a full-namespace scan (the limitation PIER concedes in §4.3 of
+// the paper). The PHT instead indexes *binary-comparable* keys — fixed-
+// width bit strings whose lexicographic order agrees with the value
+// order — so that a contiguous value range maps to a contiguous span of
+// trie leaves.
+//
+// OrderedKey packs one scalar column value (the core.Value vocabulary:
+// nil, bool, int64, float64, string) into a uint64 whose unsigned
+// integer order is *non-strictly* monotone in core.CompareValues order:
+//
+//	CompareValues(a, b) < 0  ⇒  OrderedKey(a) <= OrderedKey(b)
+//
+// The encoding is deliberately lossy (62 payload bits; long strings
+// truncate, distant int64s may share a float64 image), which is exactly
+// what an index access path needs: every tuple in the queried value
+// range is guaranteed to land inside the encoded key range, and the
+// executor re-checks the exact predicate on each fetched tuple, so
+// collisions cost a little precision in pruning, never a missed result.
+//
+// Layout (most significant first):
+//
+//	2 bits  type rank: 0 = nil/bool, 1 = number, 2 = string
+//	62 bits rank-specific payload
+//
+// matching CompareValues' type order nil < bool < number < string.
+const (
+	// OrderedKeyBits is the width of an encoded key; Prefix Hash Tree
+	// node labels are prefixes of this many bits.
+	OrderedKeyBits = 64
+
+	rankNilBool uint64 = 0
+	rankNumber  uint64 = 1
+	rankString  uint64 = 2
+)
+
+// OrderedMin and OrderedMax are the smallest and largest encoded keys;
+// they bound one side of a half-open range predicate.
+const (
+	OrderedMin uint64 = 0
+	OrderedMax uint64 = math.MaxUint64
+)
+
+// OrderedKey encodes a scalar value as a 64-bit binary-comparable key.
+// Unknown dynamic types encode above strings (they compare last in
+// CompareValues' type ranking).
+func OrderedKey(v any) uint64 {
+	switch v := v.(type) {
+	case nil:
+		return rankNilBool << 62
+	case bool:
+		if v {
+			return rankNilBool<<62 | 2
+		}
+		return rankNilBool<<62 | 1
+	case int64:
+		return rankNumber<<62 | sortableFloat(float64(v))>>2
+	case float64:
+		return rankNumber<<62 | sortableFloat(v)>>2
+	case string:
+		return rankString<<62 | stringPrefix62(v)
+	default:
+		return OrderedMax
+	}
+}
+
+// sortableFloat maps a float64 onto a uint64 whose unsigned order is
+// the numeric order: positive floats get the sign bit set, negative
+// floats are bit-flipped so that more-negative sorts lower. NaN (which
+// CompareValues treats as unordered) is pinned to the top.
+func sortableFloat(f float64) uint64 {
+	if math.IsNaN(f) {
+		return math.MaxUint64
+	}
+	if f == 0 {
+		f = 0 // -0.0 compares equal to +0.0; encode them identically
+	}
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// stringPrefix62 packs the first bytes of s big-endian into 62 bits
+// (7¾ bytes), zero-padded — a non-strict monotone image of the
+// lexicographic order.
+func stringPrefix62(s string) uint64 {
+	var b uint64
+	for i := 0; i < 8; i++ {
+		b <<= 8
+		if i < len(s) {
+			b |= uint64(s[i])
+		}
+	}
+	return b >> 2
+}

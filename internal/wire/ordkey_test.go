@@ -1,0 +1,93 @@
+package wire_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pier/internal/core"
+	"pier/internal/wire"
+)
+
+// TestOrderedKeyMonotone draws random value pairs and asserts the
+// documented non-strict monotonicity against core.CompareValues.
+func TestOrderedKeyMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	gen := func() any {
+		switch r.Intn(6) {
+		case 0:
+			return nil
+		case 1:
+			return r.Intn(2) == 0
+		case 2:
+			return r.Int63n(1 << 40)
+		case 3:
+			return -r.Int63n(1 << 40)
+		case 4:
+			return (r.Float64() - 0.5) * 1e9
+		default:
+			n := r.Intn(12)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte('a' + r.Intn(26))
+			}
+			return string(b)
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		a, b := gen(), gen()
+		ka, kb := wire.OrderedKey(a), wire.OrderedKey(b)
+		if core.CompareValues(a, b) < 0 && ka > kb {
+			t.Fatalf("CompareValues(%v, %v) < 0 but OrderedKey %x > %x", a, b, ka, kb)
+		}
+	}
+}
+
+// TestOrderedKeyTypeOrder pins the cross-type ordering nil < bool <
+// number < string that CompareValues defines.
+func TestOrderedKeyTypeOrder(t *testing.T) {
+	seq := []any{nil, false, true, math.Inf(-1), int64(-5), int64(0), 2.5, int64(1 << 50), math.Inf(1), "", "a", "zzzzzzzzzz"}
+	for i := 1; i < len(seq); i++ {
+		if wire.OrderedKey(seq[i-1]) > wire.OrderedKey(seq[i]) {
+			t.Fatalf("OrderedKey(%v) = %x > OrderedKey(%v) = %x",
+				seq[i-1], wire.OrderedKey(seq[i-1]), seq[i], wire.OrderedKey(seq[i]))
+		}
+	}
+}
+
+// TestOrderedKeyIntExact asserts small integers (the common indexed
+// domain) encode strictly monotonically — no two distinct values below
+// 2^52 may collide, so equality ranges stay tight.
+func TestOrderedKeyIntExact(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100000; i++ {
+		a := r.Int63n(1<<52) - 1<<51
+		b := a + 1 + r.Int63n(1000)
+		if wire.OrderedKey(a) >= wire.OrderedKey(b) {
+			t.Fatalf("OrderedKey(%d) = %x !< OrderedKey(%d) = %x", a, wire.OrderedKey(a), b, wire.OrderedKey(b))
+		}
+	}
+}
+
+// TestOrderedKeyIntFloatCoercion asserts an int64 and the float64 with
+// the same numeric value encode identically, mirroring CompareValues'
+// coercion.
+func TestOrderedKeyIntFloatCoercion(t *testing.T) {
+	for _, n := range []int64{-1000000, -1, 0, 1, 42, 1 << 30} {
+		if wire.OrderedKey(n) != wire.OrderedKey(float64(n)) {
+			t.Fatalf("OrderedKey(int64 %d) = %x != OrderedKey(float64) = %x",
+				n, wire.OrderedKey(n), wire.OrderedKey(float64(n)))
+		}
+	}
+}
+
+// TestOrderedKeyNegativeZero pins the -0.0 == +0.0 identity: the two
+// compare equal, so they must share an encoding or WHERE x >= 0 via
+// the index would miss tuples storing -0.0.
+func TestOrderedKeyNegativeZero(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	if wire.OrderedKey(negZero) != wire.OrderedKey(0.0) {
+		t.Fatalf("OrderedKey(-0.0) = %x != OrderedKey(+0.0) = %x",
+			wire.OrderedKey(negZero), wire.OrderedKey(0.0))
+	}
+}

@@ -29,6 +29,7 @@
 //	80..89   pier/internal/dht/multicast
 //	90..99   package pier (catalog, ...)
 //	100..109 pier/internal/stats (statistics catalog)
+//	110..119 pier/internal/index (Prefix Hash Tree range indexes)
 //	200..255 applications and tests
 //
 // # Relation to WireSize

@@ -26,6 +26,7 @@ import (
 	"pier/internal/dht/chord"
 	"pier/internal/dht/provider"
 	"pier/internal/env"
+	"pier/internal/index"
 	"pier/internal/stats"
 )
 
@@ -100,6 +101,11 @@ type Options struct {
 	// answers explicit refreshes); set Stats.Interval to enable
 	// periodic sampling, publication, and the deployment probe.
 	Stats stats.Config
+	// Index configures the Prefix Hash Tree range-index agent. The zero
+	// value leaves the trie maintenance loop off (indexes still answer
+	// lookups and accept entries; set Index.Interval to enable the
+	// periodic split/merge/heal pass that keeps them balanced).
+	Index index.Config
 }
 
 // DefaultOptions returns the paper's simulation defaults.
@@ -120,6 +126,7 @@ type Node struct {
 	provider *provider.Provider
 	engine   *core.Engine
 	stats    *stats.Catalog
+	indexes  *index.Manager
 }
 
 // buildNode assembles the stack over an environment and registers the
@@ -140,7 +147,10 @@ func buildNode(e interface {
 	cat := stats.New(e, prov, opts.Stats)
 	eng.SetObserver(cat.Observe)
 	cat.Start()
-	n := &Node{env: e, router: rt, provider: prov, engine: eng, stats: cat}
+	idx := index.New(e, prov, opts.Index)
+	eng.SetIndexRanger(idx)
+	idx.Start()
+	n := &Node{env: e, router: rt, provider: prov, engine: eng, stats: cat, indexes: idx}
 	e.SetHandler(env.HandlerFunc(func(from env.Addr, m env.Message) {
 		if rt.HandleMessage(from, m) {
 			return
@@ -190,14 +200,19 @@ func (n *Node) TransportStats() (s env.LinkStats, ok bool) {
 
 // Publish stores a tuple in the DHT under (table, resourceID) with the
 // given lifetime; wrappers publish and periodically renew this way
-// (§2.2c, §3.2.3). instanceID separates same-key items.
+// (§2.2c, §3.2.3). instanceID separates same-key items. Tables covered
+// by a Prefix Hash Tree index additionally get an index entry per
+// publish, with the same lifetime.
 func (n *Node) Publish(table, resourceID string, instanceID int64, t *Tuple, lifetime time.Duration) {
 	n.provider.Put(table, resourceID, instanceID, t, lifetime)
+	n.indexes.OnPublish(table, resourceID, instanceID, t, lifetime)
 }
 
-// Renew refreshes a previously published tuple's lifetime.
+// Renew refreshes a previously published tuple's lifetime (and, for
+// indexed tables, its index entries').
 func (n *Node) Renew(table, resourceID string, instanceID int64, t *Tuple, lifetime time.Duration) {
 	n.provider.Renew(table, resourceID, instanceID, t, lifetime)
+	n.indexes.OnPublish(table, resourceID, instanceID, t, lifetime)
 }
 
 // Query validates and disseminates a plan from this node and streams
@@ -215,6 +230,14 @@ func (n *Node) Query(p *Plan, fn ResultFunc) (uint64, error) {
 	if p.AutoStrategy && len(p.Tables) == 2 {
 		if s, _, ok := n.stats.ChooseStrategy(p); ok {
 			p.Strategy = s
+		}
+	}
+	if p.AutoAccess && len(p.Tables) == 1 && p.Tables[0].IndexScan != nil {
+		// The SQL planner attached an index candidate; drop it when the
+		// catalog prices the range too broad for the index to beat a
+		// full scan. A cold catalog keeps the index.
+		if useIndex, ok := n.stats.ChooseAccess(p, n.indexes.Config().SplitThreshold); ok && !useIndex {
+			p.Tables[0].IndexScan = nil
 		}
 	}
 	return n.engine.Run(p, fn)

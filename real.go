@@ -69,3 +69,11 @@ func (rn *RealNode) QuerySync(p *Plan, fn ResultFunc) (uint64, error) {
 	rn.Do(func() { id, err = rn.Query(p, fn) })
 	return id, err
 }
+
+// ExecSync runs a DDL statement (CREATE INDEX) from the node's event
+// loop. See Node.Exec.
+func (rn *RealNode) ExecSync(src string, cat Catalog) error {
+	var err error
+	rn.Do(func() { err = rn.Exec(src, cat) })
+	return err
+}

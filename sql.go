@@ -15,6 +15,11 @@ type Catalog = sql.Catalog
 // front end covers all of §2.1's example queries, including joins,
 // GROUP BY / HAVING with aliases, and an optional
 // `USING STRATEGY '<name>'` clause to pick the join algorithm.
+//
+// Sargable predicates (col ⊙ literal conjuncts, any of the six
+// comparison operators in either orientation) on columns the catalog
+// declares an index for lower to an IndexRangeScan access path; see
+// Node.Exec for the CREATE INDEX statement that declares one.
 func ParseSQL(src string, cat Catalog) (*Plan, error) {
 	return sql.Plan(src, cat)
 }

@@ -5,6 +5,7 @@ package pier
 
 import (
 	"pier/internal/env"
+	"pier/internal/sql"
 	"pier/internal/wire"
 )
 
@@ -19,6 +20,11 @@ func init() {
 				e.String(c)
 			}
 			e.String(s.Key)
+			e.Len(len(s.Indexes))
+			for _, ix := range s.Indexes {
+				e.String(ix.Name)
+				e.String(ix.Col)
+			}
 		},
 		func(d *wire.Decoder) env.Message {
 			s := &schemaPayload{}
@@ -29,6 +35,12 @@ func init() {
 				}
 			}
 			s.Key = d.String()
+			if n := d.Len(); n > 0 {
+				s.Indexes = make([]sql.Index, 0, wire.SliceCap(n))
+				for i := 0; i < n && d.Err() == nil; i++ {
+					s.Indexes = append(s.Indexes, sql.Index{Name: d.String(), Col: d.String()})
+				}
+			}
 			return s
 		})
 }
