@@ -196,6 +196,7 @@ type queryOutcome struct {
 type scenarioResult struct {
 	queries    []queryOutcome
 	stats      simnet.Stats
+	channel    core.QueryStats
 	invariants []Invariant
 }
 
@@ -210,7 +211,7 @@ func Run(cfg Config) *Report {
 	oracle := runScenario(cfg, true)
 	faulted := runScenario(cfg, false)
 
-	rep := &Report{Cfg: cfg, Stats: faulted.stats, Invariants: faulted.invariants}
+	rep := &Report{Cfg: cfg, Stats: faulted.stats, Channel: faulted.channel, Invariants: faulted.invariants}
 
 	var matched, total int
 	for i, q := range faulted.queries {
@@ -270,6 +271,19 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 	opts.ProviderConfig.PutRetryDelay = 3 * time.Second
 	opts.CANConfig.LookupTimeout = 8 * time.Second
 	opts.ProviderConfig.GetTimeout = 10 * time.Second
+	// Result channel: pin the batching/credit geometry (rather than
+	// inheriting engine defaults) so pinned-seed traces don't shift if
+	// defaults move. The credit window is deliberately tiny — the
+	// workload spreads each query's results over all nodes, so only a
+	// window smaller than a typical per-sender share makes senders
+	// actually exhaust it; replenishment grants then flow through the
+	// loss/partition schedules, lost grants exercise the executor's
+	// stall-refresh path, and the queries-terminate invariant doubles
+	// as the channel's no-deadlock check.
+	opts.EngineConfig.ResultBatch = 16
+	opts.EngineConfig.ResultFlushInterval = 250 * time.Millisecond
+	opts.EngineConfig.ResultCredit = 6
+	opts.EngineConfig.CreditRefresh = 4 * time.Second
 	if cfg.StatsInterval > 0 {
 		opts.Stats.Interval = cfg.StatsInterval
 	}
@@ -416,6 +430,16 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 	sn.RunFor(tail + time.Minute)
 
 	res.stats = sn.Net.Stats()
+	for i, n := range sn.Nodes {
+		if sn.Alive(i) {
+			qs := n.QueryStats()
+			res.channel.ResultBatches += qs.ResultBatches
+			res.channel.ResultTuples += qs.ResultTuples
+			res.channel.CreditGrants += qs.CreditGrants
+			res.channel.CreditStalls += qs.CreditStalls
+			res.channel.BloomFallbacks += qs.BloomFallbacks
+		}
+	}
 	res.invariants = buildInvariants(sn, res, catalogInv)
 	return res
 }

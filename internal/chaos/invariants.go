@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"pier/internal/core"
 	"pier/internal/simnet"
 )
 
@@ -34,6 +35,11 @@ type Report struct {
 	// every query's sorted result keys. Identical seeds must produce
 	// identical hashes.
 	TraceHash uint64
+	// Channel sums the result-channel counters (frames, tuples,
+	// grants, stalls, Bloom fallbacks) across the nodes alive at the
+	// end of the faulted run — informational: non-zero stalls show the
+	// loss/partition schedule actually exercised credit refresh.
+	Channel core.QueryStats
 }
 
 // AllPass reports whether every invariant held.
@@ -72,6 +78,9 @@ func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "  recall %.1f%% (floor %.1f%%)   trace %016x   msgs=%d lost=%d+%d dropped=%d\n",
 		100*r.Recall, 100*r.Cfg.RecallFloor, r.TraceHash,
 		r.Stats.Messages, r.Stats.LostLoss, r.Stats.LostPartition, r.Stats.Dropped)
+	fmt.Fprintf(w, "  result channel: frames=%d tuples=%d grants=%d stalls=%d bloom-fallbacks=%d\n",
+		r.Channel.ResultBatches, r.Channel.ResultTuples, r.Channel.CreditGrants,
+		r.Channel.CreditStalls, r.Channel.BloomFallbacks)
 }
 
 // traceHash fingerprints a run from its simulator counters and query

@@ -89,6 +89,17 @@ func (f *Filter) Union(g *Filter) error {
 	return nil
 }
 
+// Saturate sets every bit, making Test answer true for every key. The
+// Bloom collector degrades to a saturated filter when a peer's filter
+// cannot be combined (mismatched geometry): pruning with a filter that
+// is missing that peer's keys would silently drop join rows, whereas a
+// saturated filter just disables pruning.
+func (f *Filter) Saturate() {
+	for i := range f.Bits {
+		f.Bits[i] = ^uint64(0)
+	}
+}
+
 // Clone returns a deep copy.
 func (f *Filter) Clone() *Filter {
 	return &Filter{Bits: append([]uint64(nil), f.Bits...), K: f.K}

@@ -150,3 +150,16 @@ func TestDegenerateParams(t *testing.T) {
 		t.Fatal("zero-capacity filter must still work")
 	}
 }
+
+func TestSaturateAcceptsEverything(t *testing.T) {
+	f := New(1<<10, 4)
+	f.Saturate()
+	for _, k := range []string{"", "a", "zz", "never-added-key"} {
+		if !f.Test(k) {
+			t.Fatalf("saturated filter rejected %q", k)
+		}
+	}
+	if r := f.FillRatio(); r != 1 {
+		t.Fatalf("saturated fill ratio %v, want 1", r)
+	}
+}

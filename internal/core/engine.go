@@ -15,15 +15,76 @@ import (
 const QueryNS = "pier.query"
 
 // Config controls one engine instance.
+//
+// The result-channel fields (ResultBatch, ResultFlushInterval,
+// ResultCredit, CreditRefresh) shape how executors deliver result
+// tuples back to the query initiator; like the Bloom filter geometry,
+// they should be configured identically on every node of a deployment
+// (a mixed deployment stays correct but flow-controls suboptimally).
 type Config struct {
 	// AggFlushInterval is how often dirty partial aggregates are
 	// re-put while a join or stream keeps feeding them.
 	AggFlushInterval time.Duration
+
+	// ResultBatch is the executor-side result buffer's size trigger:
+	// once this many output tuples accumulate for the initiator they
+	// are flushed as one resultMsg frame. 0 picks the default (32);
+	// 1 ships one frame per tuple (the pre-batching behavior when
+	// credit is also disabled).
+	ResultBatch int
+	// ResultFlushInterval bounds how long a buffered result tuple may
+	// wait for the size trigger before a timer flushes the buffer
+	// anyway. 0 picks the default (200ms).
+	ResultFlushInterval time.Duration
+	// ResultCredit is the per-sender credit window in tuples: an
+	// executor may have at most this many result tuples in flight
+	// (sent but not yet granted away by the initiator), so n senders
+	// converging on one initiator are collectively bounded instead of
+	// melting its inbound link. 0 picks the default (128); negative
+	// disables flow control entirely.
+	ResultCredit int
+	// CreditRefresh is the executor's stall-refresh period: when a
+	// sender has buffered results but an exhausted credit window and
+	// no grant arrives within this time (grant lost, initiator
+	// unreachable, frames dropped by churn), it re-opens one window on
+	// its own so the channel throttles under loss instead of
+	// deadlocking. 0 picks the default (5s).
+	CreditRefresh time.Duration
 }
 
 // DefaultConfig returns the engine defaults.
 func DefaultConfig() Config {
-	return Config{AggFlushInterval: time.Second}
+	return Config{
+		AggFlushInterval:    time.Second,
+		ResultBatch:         32,
+		ResultFlushInterval: 200 * time.Millisecond,
+		ResultCredit:        128,
+		CreditRefresh:       5 * time.Second,
+	}
+}
+
+// QueryStats counts engine-level result-channel and robustness events,
+// in the style of env.LinkStats: monotone uint64 counters, snapshotted
+// through Engine.QueryStats. Sender-side counters (batches, tuples,
+// stalls) increment on the node running the executor; collector-side
+// counters (grants) on the query initiator.
+type QueryStats struct {
+	// ResultBatches counts result frames shipped to initiators;
+	// ResultTuples counts the tuples they carried.
+	// ResultTuples/ResultBatches is the result channel's coalescing
+	// factor (per-tuple delivery pins it at 1).
+	ResultBatches uint64
+	ResultTuples  uint64
+	// CreditGrants counts creditMsg grants issued by collectors on
+	// this node.
+	CreditGrants uint64
+	// CreditStalls counts executor stall episodes: a flush found
+	// buffered results but an exhausted credit window.
+	CreditStalls uint64
+	// BloomFallbacks counts Bloom-join filter combines degraded to a
+	// saturated (accept-all) filter because a peer's filter arrived
+	// with mismatched geometry and could not be OR-ed.
+	BloomFallbacks uint64
 }
 
 // ResultFunc receives one output tuple at the query initiator. window is
@@ -46,6 +107,16 @@ type collector struct {
 	plan   *Plan
 	counts map[int]int
 	maxW   int
+	// start anchors the window clamp: a resultMsg may never advance
+	// window accounting beyond what the plan's Every and the time
+	// elapsed since the query was initiated allow (a single crafted
+	// window would otherwise permanently close every real window's
+	// observer accounting).
+	start time.Time
+	// credit tracks, per sender, how many result tuples the
+	// application callback has drained and the cumulative limit last
+	// granted; replenishment grants flow from here.
+	credit map[env.Addr]*senderCredit
 	// closed is the lowest window not yet reported to the observer;
 	// stragglers below it still reach the application callback but are
 	// no longer counted, keeping the observer exactly-once per window.
@@ -60,6 +131,27 @@ type collector struct {
 	local bool
 }
 
+// senderCredit is the collector's per-sender flow-control ledger.
+type senderCredit struct {
+	// received counts tuples delivered (and drained through the
+	// application callback) from this sender.
+	received int64
+	// granted is the cumulative limit last issued to the sender.
+	granted int64
+}
+
+// allowedWindow is the highest window index a result may legitimately
+// carry right now: 0 for one-shot plans, and for continuous plans the
+// window currently open at the initiator plus one of grace (executor
+// clocks start at query arrival, slightly after the collector's, and
+// real deployments skew a little).
+func (c *collector) allowedWindow(now time.Time) int {
+	if !c.plan.Continuous {
+		return 0
+	}
+	return int(now.Sub(c.start)/c.plan.Every) + 1
+}
+
 // Engine is the per-node PIER query processor. One instance runs on
 // every participating node; any node can initiate queries.
 type Engine struct {
@@ -72,6 +164,7 @@ type Engine struct {
 	obs        Observer
 	ranger     IndexRanger
 	nodeIID    int64
+	qstats     QueryStats
 
 	// cancelled remembers recently cancelled query ids (bounded FIFO):
 	// the cancel and query multicasts are independent best-effort
@@ -91,6 +184,24 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 	if cfg.AggFlushInterval <= 0 {
 		cfg.AggFlushInterval = time.Second
 	}
+	if cfg.ResultBatch == 0 {
+		cfg.ResultBatch = 32
+	}
+	if cfg.ResultBatch < 1 {
+		cfg.ResultBatch = 1
+	}
+	if cfg.ResultFlushInterval <= 0 {
+		cfg.ResultFlushInterval = 200 * time.Millisecond
+	}
+	if cfg.ResultCredit == 0 {
+		cfg.ResultCredit = 128
+	}
+	if cfg.ResultCredit < 0 {
+		cfg.ResultCredit = 0 // negative: flow control explicitly off
+	}
+	if cfg.CreditRefresh <= 0 {
+		cfg.CreditRefresh = 5 * time.Second
+	}
 	h := sha1.Sum([]byte(e.Addr()))
 	eng := &Engine{
 		env:        e,
@@ -108,6 +219,9 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 // Provider returns the provider the engine runs over.
 func (eng *Engine) Provider() *provider.Provider { return eng.prov }
 
+// QueryStats snapshots the engine's result-channel counters.
+func (eng *Engine) QueryStats() QueryStats { return eng.qstats }
+
 // SetObserver registers the cardinality-feedback sink for queries
 // initiated on this node (nil disables).
 func (eng *Engine) SetObserver(fn Observer) { eng.obs = fn }
@@ -119,7 +233,13 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 		return 0, err
 	}
 	id := eng.env.Rand().Uint64()
-	c := &collector{fn: onResult, plan: p, counts: make(map[int]int)}
+	c := &collector{
+		fn:     onResult,
+		plan:   p,
+		counts: make(map[int]int),
+		start:  eng.env.Now(),
+		credit: make(map[env.Addr]*senderCredit),
+	}
 	eng.collectors[id] = c
 	// The distributed execution dies at the TTL; drop the collector (and
 	// report the final window) with it.
@@ -197,28 +317,81 @@ func (eng *Engine) ActiveExecs() int { return len(eng.execs) }
 // whose collectors are still registered (not yet cancelled or expired).
 func (eng *Engine) OpenCollectors() int { return len(eng.collectors) }
 
-// HandleMessage consumes engine messages (results), returning false for
-// anything else.
+// HandleMessage consumes engine messages (results at the initiator,
+// credit grants at executors), returning false for anything else.
 func (eng *Engine) HandleMessage(from env.Addr, m env.Message) bool {
-	rm, ok := m.(*resultMsg)
+	switch msg := m.(type) {
+	case *resultMsg:
+		eng.onResult(from, msg)
+		return true
+	case *creditMsg:
+		// Grants for queries whose executor already stopped (TTL,
+		// cancel) are simply stale; drop them.
+		if ex, ok := eng.execs[msg.ID]; ok {
+			ex.onCredit(msg.Limit)
+		}
+		return true
+	}
+	return false
+}
+
+// onResult is the initiator side of the result channel: count the
+// window, drain the tuples into the application callback, and
+// replenish the sender's credit.
+func (eng *Engine) onResult(from env.Addr, rm *resultMsg) {
+	c, ok := eng.collectors[rm.ID]
 	if !ok {
-		return false
+		return
 	}
-	if c, ok := eng.collectors[rm.ID]; ok {
-		if rm.Window >= c.closed {
-			c.counts[rm.Window] += len(rm.Tuples)
-		}
-		if rm.Window > c.maxW {
-			c.maxW = rm.Window
-			// Windows more than one behind the watermark are closed;
-			// the one-window grace absorbs cross-node stragglers.
-			eng.reportWindows(c, c.maxW-1)
-		}
-		for _, t := range rm.Tuples {
-			c.fn(t, rm.Window)
-		}
+	// The window index arrived over the network. Clamp it to what the
+	// plan's Every and the elapsed time allow: a crafted (or buggy)
+	// huge window would otherwise jump c.maxW, and reportWindows would
+	// permanently close every real window's observer accounting — and
+	// skew the stats catalog's cardinality feedback.
+	if rm.Window < 0 || rm.Window > c.allowedWindow(eng.env.Now()) {
+		return
 	}
-	return true
+	if rm.Window >= c.closed {
+		c.counts[rm.Window] += len(rm.Tuples)
+	}
+	if rm.Window > c.maxW {
+		c.maxW = rm.Window
+		// Windows more than one behind the watermark are closed;
+		// the one-window grace absorbs cross-node stragglers.
+		eng.reportWindows(c, c.maxW-1)
+	}
+	for _, t := range rm.Tuples {
+		c.fn(t, rm.Window)
+	}
+	eng.replenishCredit(c, rm.ID, from, len(rm.Tuples))
+}
+
+// replenishCredit advances one sender's cumulative delivery limit as
+// the application callback drains its frames. The first frame from a
+// sender registers it in the collector's ledger (its bootstrap window
+// is implicit — senders start with ResultCredit of their own); a grant
+// is issued whenever the sender's remaining headroom has fallen below
+// half a window, so the steady-state costs one small reverse frame per
+// ~half window of results, not one per batch.
+func (eng *Engine) replenishCredit(c *collector, id uint64, from env.Addr, n int) {
+	w := int64(eng.cfg.ResultCredit)
+	if w <= 0 || c.local {
+		return
+	}
+	sc := c.credit[from]
+	if sc == nil {
+		sc = &senderCredit{granted: w}
+		c.credit[from] = sc
+	}
+	sc.received += int64(n)
+	// <= rather than <: with a 1-tuple window w/2 is 0, and headroom
+	// can never drop below it — strictly-less would then never grant
+	// and the sender would trickle one tuple per CreditRefresh.
+	if sc.granted-sc.received <= w/2 {
+		sc.granted = sc.received + w
+		eng.qstats.CreditGrants++
+		eng.env.Send(from, &creditMsg{ID: id, Limit: sc.granted})
+	}
 }
 
 func (eng *Engine) onMulticast(origin env.Addr, ns string, payload env.Message) {

@@ -39,6 +39,25 @@ type exec struct {
 	partials  map[string]*partialGroup
 	dirty     map[string]bool
 	flushStop func()
+
+	// Result channel state: output tuples accumulate in resBuf and are
+	// shipped to the initiator in batched frames (by size and by a
+	// short timer) under a credit window, instead of one unicast frame
+	// per tuple — the per-tuple incast melts the initiator's link once
+	// n nodes answer a selective query at once.
+	resBuf   []resultItem
+	resSent  int64     // result tuples shipped so far
+	resLimit int64     // cumulative credit limit (flow control off: unused)
+	resFlush env.Timer // pending size/interval flush
+	resStall env.Timer // pending credit stall-refresh
+}
+
+// resultItem is one buffered output tuple; the window rides along so a
+// stalled buffer can span a window boundary (frames still carry one
+// window each — flushes cut at the first window change).
+type resultItem struct {
+	w int
+	t *Tuple
 }
 
 type fetchEntry struct {
@@ -64,6 +83,11 @@ func newExec(eng *Engine, m *queryMsg) *exec {
 		startAt:   eng.env.Now(),
 		partials:  make(map[string]*partialGroup),
 		dirty:     make(map[string]bool),
+		// The bootstrap credit window is implicit: the initiator's
+		// ledger assumes every sender starts with one ResultCredit
+		// window, so no registration round-trip is needed before the
+		// first results flow.
+		resLimit: int64(eng.cfg.ResultCredit),
 	}
 }
 
@@ -95,7 +119,13 @@ func (ex *exec) start() {
 	}
 }
 
+// stop tears the executor down. It is idempotent — the cancel
+// multicast and the TTL timer can both reach a live exec — and the
+// stop-flush of the result buffer therefore runs exactly once.
 func (ex *exec) stop() {
+	if ex.stopped {
+		return
+	}
 	ex.stopped = true
 	for _, u := range ex.unsubs {
 		u()
@@ -106,6 +136,20 @@ func (ex *exec) stop() {
 	if ex.flushStop != nil {
 		ex.flushStop()
 	}
+	if ex.resFlush != nil {
+		ex.resFlush.Stop()
+		ex.resFlush = nil
+	}
+	if ex.resStall != nil {
+		ex.resStall.Stop()
+		ex.resStall = nil
+	}
+	// Stop-flush: the executor is going away (cancel or TTL), so any
+	// tuple still buffered would be lost; ship the remainder even past
+	// the credit window. The burst is bounded by the buffer contents,
+	// and a cancelled or expired query's collector is usually already
+	// closed — the frames then drop at the initiator.
+	ex.flushResults(true)
 }
 
 // timer schedules f, suppressed after stop.
@@ -139,8 +183,8 @@ func (ex *exec) joined(row *Tuple) {
 	ex.emitRow(row, ex.window())
 }
 
-// emitRow applies the output expressions and ships the tuple to the
-// query initiator.
+// emitRow applies the output expressions and hands the tuple to the
+// result channel for delivery to the query initiator.
 func (ex *exec) emitRow(row *Tuple, window int) {
 	out := row
 	if len(ex.plan.Output) > 0 {
@@ -150,7 +194,118 @@ func (ex *exec) emitRow(row *Tuple, window int) {
 		}
 		out = &Tuple{Rel: "result", Vals: vals, Pad: row.Pad}
 	}
-	ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: window, Tuples: []*Tuple{out}})
+	ex.emit(out, window)
+}
+
+// emit routes one output tuple into the per-initiator result buffer.
+// With batching and flow control both disabled the tuple ships
+// immediately in its own frame (the per-tuple baseline the incast
+// experiment measures against).
+func (ex *exec) emit(t *Tuple, window int) {
+	cfg := &ex.eng.cfg
+	if cfg.ResultBatch <= 1 && cfg.ResultCredit <= 0 {
+		ex.eng.qstats.ResultBatches++
+		ex.eng.qstats.ResultTuples++
+		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: window, Tuples: []*Tuple{t}})
+		return
+	}
+	ex.resBuf = append(ex.resBuf, resultItem{w: window, t: t})
+	if len(ex.resBuf) >= cfg.ResultBatch {
+		ex.flushResults(false)
+		return
+	}
+	if ex.resFlush == nil {
+		ex.resFlush = ex.eng.env.After(cfg.ResultFlushInterval, func() {
+			ex.resFlush = nil
+			if !ex.stopped {
+				ex.flushResults(false)
+			}
+		})
+	}
+}
+
+// flushResults ships buffered result tuples to the initiator in frames
+// of at most ResultBatch tuples, one window per frame, stopping when
+// the credit window is exhausted (unless force — the stop-flush).
+func (ex *exec) flushResults(force bool) {
+	if ex.resFlush != nil {
+		ex.resFlush.Stop()
+		ex.resFlush = nil
+	}
+	credit := int64(ex.eng.cfg.ResultCredit)
+	for len(ex.resBuf) > 0 {
+		n := len(ex.resBuf)
+		if n > ex.eng.cfg.ResultBatch {
+			n = ex.eng.cfg.ResultBatch
+		}
+		if credit > 0 && !force {
+			avail := ex.resLimit - ex.resSent
+			if avail <= 0 {
+				ex.stallResults()
+				return
+			}
+			if int64(n) > avail {
+				n = int(avail)
+			}
+		}
+		// Frames carry one window each: cut at the first window change.
+		w := ex.resBuf[0].w
+		k := 1
+		for k < n && ex.resBuf[k].w == w {
+			k++
+		}
+		tuples := make([]*Tuple, k)
+		for i := 0; i < k; i++ {
+			tuples[i] = ex.resBuf[i].t
+		}
+		ex.resBuf = ex.resBuf[k:]
+		ex.resSent += int64(k)
+		ex.eng.qstats.ResultBatches++
+		ex.eng.qstats.ResultTuples += uint64(k)
+		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: w, Tuples: tuples})
+	}
+	ex.resBuf = nil
+	if ex.resStall != nil {
+		ex.resStall.Stop()
+		ex.resStall = nil
+	}
+}
+
+// stallResults arms the credit stall-refresh: if no grant arrives
+// within CreditRefresh — the grant was lost, the in-flight frames
+// were, or the initiator is gone — the executor re-opens one window on
+// its own and retries. Under sustained loss the channel degrades to
+// one window per refresh period per sender instead of deadlocking; the
+// chaos harness's termination invariant leans on this.
+func (ex *exec) stallResults() {
+	if ex.resStall != nil {
+		return
+	}
+	ex.eng.qstats.CreditStalls++
+	ex.resStall = ex.eng.env.After(ex.eng.cfg.CreditRefresh, func() {
+		ex.resStall = nil
+		if ex.stopped {
+			return
+		}
+		ex.resLimit = ex.resSent + int64(ex.eng.cfg.ResultCredit)
+		ex.flushResults(false)
+	})
+}
+
+// onCredit applies a collector grant. Limits are cumulative, so stale
+// or reordered grants (and anything below a stall self-refresh) are
+// simply ignored.
+func (ex *exec) onCredit(limit int64) {
+	if limit <= ex.resLimit {
+		return
+	}
+	ex.resLimit = limit
+	if ex.resStall != nil {
+		// We were stalled on this credit; resume immediately.
+		ex.resStall.Stop()
+		ex.resStall = nil
+		ex.flushResults(false)
+	}
 }
 
 // --- single-table plans -------------------------------------------------
@@ -501,22 +656,38 @@ func (ex *exec) startBloom() {
 
 // emitBloom runs at the collector: OR all received filters for one table
 // and multicast the combination.
+//
+// The combine starts from an empty filter of the plan's dimensions, so
+// every honest peer (which built its filter from the same plan) ORs in
+// cleanly regardless of scan order. A filter whose geometry does not
+// match cannot be combined — and silently skipping it would prune that
+// peer's join keys out of the opposite table's rehash: silently
+// dropped join rows. On any mismatch the collector degrades to a
+// saturated (accept-all) filter instead: the rehash runs unpruned —
+// correct, merely unoptimized — and the event is counted in
+// QueryStats.BloomFallbacks.
 func (ex *exec) emitBloom(side int) {
-	var comb *bloom.Filter
+	p := ex.plan
+	comb := bloom.New(p.BloomBits, p.BloomHashes)
+	seen, mismatch := false, false
 	ex.eng.prov.Scan(ex.bloomNS(side), func(it *storage.Item) bool {
 		bp, ok := it.Payload.(*bloomPut)
 		if !ok || bp.Side != side {
 			return true
 		}
-		if comb == nil {
-			comb = bp.F.Clone()
-		} else if err := comb.Union(bp.F); err != nil {
-			return true
+		seen = true
+		if err := comb.Union(bp.F); err != nil {
+			mismatch = true
 		}
 		return true
 	})
-	if comb == nil {
+	if !seen {
 		return
+	}
+	if mismatch {
+		ex.eng.qstats.BloomFallbacks++
+		comb = bloom.New(p.BloomBits, p.BloomHashes)
+		comb.Saturate()
 	}
 	ex.eng.prov.Multicast(QueryNS, &bloomDist{ID: ex.id, Side: side, F: comb})
 }
@@ -609,8 +780,11 @@ func (ex *exec) flushPartials() {
 }
 
 // combineLevel1 runs at intermediate aggregation sites: merge the
-// partials of each "<group>#<bucket>" rid stored here and forward one
-// combined partial to the group root.
+// partials of each "<group>\x1e<bucket>" rid stored here (the 0x1e
+// record separator keeps bucket suffixes unambiguous — group keys can
+// contain any printable byte) and forward one combined partial to the
+// group root. TestLevel1RidFormat pins the separator so codec and
+// storage assumptions cannot drift apart silently.
 func (ex *exec) combineLevel1(w int) {
 	type comb struct {
 		base   string
@@ -747,7 +921,11 @@ func (ex *exec) emitGroups(w int) {
 		}
 		out = append(out, t)
 	}
-	if len(out) > 0 {
-		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: w, Tuples: out})
+	// The window's groups are complete: feed them through the result
+	// channel and flush now rather than waiting out the interval (a
+	// credit-stalled remainder stays buffered and retries).
+	for _, t := range out {
+		ex.emit(t, w)
 	}
+	ex.flushResults(false)
 }

@@ -93,6 +93,20 @@ type cancelMsg struct {
 // multicast envelope, which already charges the transport header.
 func (m *cancelMsg) WireSize() int { return 8 }
 
+// creditMsg is the result channel's flow-control grant, sent from the
+// query initiator to one executor. Limit is absolute and cumulative —
+// "you may have shipped up to Limit result tuples in total" — so a
+// lost or reordered grant only leaves the sender with a stale (lower)
+// limit, never with permanently destroyed credit; the next grant, or
+// the sender's stall-refresh timer, restores progress.
+type creditMsg struct {
+	ID    uint64
+	Limit int64
+}
+
+// WireSize implements env.Message.
+func (m *creditMsg) WireSize() int { return env.HeaderSize + 16 }
+
 // partialAgg is one node's partial aggregation state for one group (and
 // window, for continuous queries), put into the aggregation namespace.
 type partialAgg struct {
@@ -121,6 +135,7 @@ func init() {
 	gob.Register(&bloomPut{})
 	gob.Register(&bloomDist{})
 	gob.Register(&cancelMsg{})
+	gob.Register(&creditMsg{})
 	gob.Register(&partialAgg{})
 	gob.Register(&bloom.Filter{})
 }

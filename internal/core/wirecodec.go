@@ -25,6 +25,7 @@ const (
 	tagAggState
 	tagCancelMsg
 	tagIndexScan
+	tagCreditMsg
 )
 
 const (
@@ -186,6 +187,23 @@ func init() {
 	wire.Register(tagCancelMsg, &cancelMsg{},
 		func(e *wire.Encoder, m env.Message) { e.Uvarint(m.(*cancelMsg).ID) },
 		func(d *wire.Decoder) env.Message { return &cancelMsg{ID: d.Uvarint()} })
+
+	wire.Register(tagCreditMsg, &creditMsg{},
+		func(e *wire.Encoder, m env.Message) {
+			c := m.(*creditMsg)
+			e.Uvarint(c.ID)
+			e.Varint(c.Limit)
+		},
+		func(d *wire.Decoder) env.Message {
+			c := &creditMsg{ID: d.Uvarint(), Limit: d.Varint()}
+			// Limits are cumulative tuple counts; a negative one can only
+			// be crafted. It would be ignored by onCredit anyway, but
+			// reject the frame so hostile grants never reach the engine.
+			if d.Err() == nil && c.Limit < 0 {
+				d.Fail("negative credit limit")
+			}
+			return c
+		})
 
 	wire.Register(tagAggState, &AggState{},
 		func(e *wire.Encoder, m env.Message) { encodeAggState(e, m.(*AggState)) },

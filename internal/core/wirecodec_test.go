@@ -195,6 +195,9 @@ func TestWireRoundTrip(t *testing.T) {
 		{Name: "cancelMsg", Make: func(r *rand.Rand) env.Message {
 			return &cancelMsg{ID: r.Uint64()}
 		}},
+		{Name: "creditMsg", Make: func(r *rand.Rand) env.Message {
+			return &creditMsg{ID: r.Uint64(), Limit: int64(r.Uint64() >> 1)}
+		}},
 		{Name: "Tuple", Make: func(r *rand.Rand) env.Message { return randTuple(r) }},
 		{Name: "Plan", Make: func(r *rand.Rand) env.Message { return randPlan(r) }},
 		{Name: "AggState", Make: func(r *rand.Rand) env.Message { return randAggState(r) }},
@@ -260,6 +263,7 @@ func TestHostileFieldValuesRejected(t *testing.T) {
 	reject("bloom filter K=0", &bloomPut{Side: 0, F: &bloom.Filter{K: 0, Bits: []uint64{1}}}, nil)
 	reject("bloom filter K=2^60", &bloomPut{Side: 0, F: &bloom.Filter{K: 1 << 60, Bits: []uint64{1}}}, nil)
 	reject("bloom filter empty bits", &bloomDist{ID: 1, Side: 1, F: &bloom.Filter{K: 4}}, nil)
+	reject("creditMsg negative limit", &creditMsg{ID: 1, Limit: -5}, nil)
 }
 
 // TestNilRequiredFieldsRejected: tag 0 in handler-dereferenced

@@ -83,6 +83,12 @@ type BenchRecord struct {
 	// nodes visited by an index traversal, or the multicast reach of a
 	// full scan. Zero for scenarios that do not measure it.
 	NodesContacted int `json:"nodes_contacted,omitempty"`
+	// ResultFrames and ResultTuples are the incast scenario's
+	// comparison metric: resultMsg frames shipped toward the initiator
+	// and the tuples they carried. Zero for scenarios that do not
+	// measure them.
+	ResultFrames int64 `json:"result_frames,omitempty"`
+	ResultTuples int64 `json:"result_tuples,omitempty"`
 }
 
 // WriteBenchJSON writes records as an indented JSON array (empty array,

@@ -49,6 +49,10 @@ type (
 	ResultFunc = core.ResultFunc
 	// Strategy selects the distributed join algorithm.
 	Strategy = core.Strategy
+	// QueryStats is the engine's result-channel counter snapshot
+	// (result frames/tuples shipped, credit grants and stalls, Bloom
+	// combine fallbacks). See Node.QueryStats.
+	QueryStats = core.QueryStats
 )
 
 // Join strategies (§4).
@@ -187,6 +191,13 @@ func (n *Node) Stats() *stats.Catalog { return n.stats }
 // re-probe the deployment. Useful to warm a catalog without waiting for
 // the periodic loop.
 func (n *Node) RefreshStats() { n.stats.Refresh() }
+
+// QueryStats reports the node engine's result-channel counters:
+// result frames and tuples shipped toward initiators, credit grants
+// issued by collectors here, executor credit stalls, and Bloom-join
+// combines degraded by mismatched peer filters. Counters are monotone;
+// diff two snapshots to attribute activity to a workload.
+func (n *Node) QueryStats() QueryStats { return n.engine.QueryStats() }
 
 // TransportStats reports the node's transport link counters (frames,
 // batches, bytes, drops). ok is false on environments without real
