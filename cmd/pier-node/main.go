@@ -1,30 +1,48 @@
-// pier-node runs one real PIER node over TCP and offers a small
-// interactive shell: publish tuples, register schemas, and run SQL
-// queries against the live overlay. Start the first node with no
-// -join flag; point further nodes at any running one:
+// pier-node runs one real PIER node over TCP, as an operable daemon:
+// an HTTP admin plane (REST + /metrics) for inspection, publishing,
+// and querying, a JSON config file with flag overrides, and graceful
+// drain on SIGINT/SIGTERM (cancel live queries, leave the overlay
+// handing soft state to a peer, close the transport).
 //
-//	pier-node -listen 127.0.0.1:7001
-//	pier-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+// Start the first node with no -join flag; point further nodes at any
+// running one:
 //
-// Shell commands:
+//	pier-node -listen 127.0.0.1:7001 -admin 127.0.0.1:7080
+//	pier-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001 -admin 127.0.0.1:7081
+//
+// then operate it over HTTP:
+//
+//	curl localhost:7080/api/status
+//	curl localhost:7080/metrics
+//	curl -X POST localhost:7080/api/tables -d '{"name":"fish","key":"name","cols":["name","size"]}'
+//	curl -X POST localhost:7080/api/publish -d '{"table":"fish","values":["salmon",7]}'
+//	curl -X POST localhost:7081/api/queries -d '{"sql":"SELECT name, size FROM fish","wait_ms":3000}'
+//
+// The interactive shell of earlier releases is behind -interactive:
 //
 //	table <name> <keycol> <col> [col...]   register a schema
 //	publish <table> <val> [val...]         publish a tuple (key = first col)
 //	sql <SELECT ...>                       run a query, print results
 //	sql CREATE INDEX <n> ON <t> (<col>)    build a PHT range index
-//	stats [table]                          catalog/deployment/link stats
-//	info                                   node status
+//	stats [table]                          node counters (the /api/status struct)
+//	info                                   node status (same struct)
 //	quit
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"pier"
@@ -33,35 +51,225 @@ import (
 	"pier/internal/sql"
 )
 
+// config is the daemon's effective configuration: defaults, overlaid
+// by the -config file, overlaid by explicitly set flags.
+type config struct {
+	Listen        string
+	Join          string
+	Admin         string
+	Lifetime      time.Duration
+	Wait          time.Duration
+	StatsInterval time.Duration
+	JoinTimeout   time.Duration
+	DrainTimeout  time.Duration
+}
+
+func defaultConfig() config {
+	return config{
+		Listen:        "127.0.0.1:0",
+		Lifetime:      10 * time.Minute,
+		Wait:          5 * time.Second,
+		StatsInterval: 10 * time.Second,
+		JoinTimeout:   15 * time.Second,
+		DrainTimeout:  10 * time.Second,
+	}
+}
+
+// fileConfig is the JSON shape of a -config file; durations are
+// strings in time.ParseDuration syntax. Every field is optional.
+type fileConfig struct {
+	Listen        *string `json:"listen"`
+	Join          *string `json:"join"`
+	Admin         *string `json:"admin"`
+	Lifetime      *string `json:"lifetime"`
+	Wait          *string `json:"wait"`
+	StatsInterval *string `json:"stats_interval"`
+	JoinTimeout   *string `json:"join_timeout"`
+	DrainTimeout  *string `json:"drain_timeout"`
+}
+
+func loadConfigFile(path string, cfg *config) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var fc fileConfig
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	setStr := func(dst *string, src *string) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setDur := func(dst *time.Duration, src *string, field string) error {
+		if src == nil {
+			return nil
+		}
+		d, err := time.ParseDuration(*src)
+		if err != nil {
+			return fmt.Errorf("%s: field %s: %w", path, field, err)
+		}
+		*dst = d
+		return nil
+	}
+	setStr(&cfg.Listen, fc.Listen)
+	setStr(&cfg.Join, fc.Join)
+	setStr(&cfg.Admin, fc.Admin)
+	for _, f := range []struct {
+		dst   *time.Duration
+		src   *string
+		field string
+	}{
+		{&cfg.Lifetime, fc.Lifetime, "lifetime"},
+		{&cfg.Wait, fc.Wait, "wait"},
+		{&cfg.StatsInterval, fc.StatsInterval, "stats_interval"},
+		{&cfg.JoinTimeout, fc.JoinTimeout, "join_timeout"},
+		{&cfg.DrainTimeout, fc.DrainTimeout, "drain_timeout"},
+	} {
+		if err := setDur(f.dst, f.src, f.field); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	def := defaultConfig()
+	listen := flag.String("listen", def.Listen, "address to listen on")
 	join := flag.String("join", "", "landmark node to join through (empty = new network)")
-	lifetime := flag.Duration("lifetime", 10*time.Minute, "soft-state lifetime of published tuples")
-	wait := flag.Duration("wait", 5*time.Second, "how long queries collect results")
-	statsEvery := flag.Duration("stats", 10*time.Second,
+	adminAddr := flag.String("admin", "", "HTTP admin/metrics listen address (empty = admin plane off)")
+	configPath := flag.String("config", "", "JSON config file; explicitly set flags override it")
+	interactive := flag.Bool("interactive", false, "run the interactive shell on stdin")
+	lifetime := flag.Duration("lifetime", def.Lifetime, "soft-state lifetime of published tuples")
+	wait := flag.Duration("wait", def.Wait, "how long shell queries collect results")
+	statsEvery := flag.Duration("stats", def.StatsInterval,
 		"statistics-catalog refresh interval (0 disables the maintenance loop)")
+	joinTimeout := flag.Duration("join-timeout", def.JoinTimeout, "how long to wait for the overlay join")
+	drainTimeout := flag.Duration("drain-timeout", def.DrainTimeout,
+		"how long graceful shutdown waits for in-flight admin requests")
 	flag.Parse()
 
+	cfg := def
+	if *configPath != "" {
+		if err := loadConfigFile(*configPath, &cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "config:", err)
+			os.Exit(1)
+		}
+	}
+	// Explicitly set flags win over the config file.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "listen":
+			cfg.Listen = *listen
+		case "join":
+			cfg.Join = *join
+		case "admin":
+			cfg.Admin = *adminAddr
+		case "lifetime":
+			cfg.Lifetime = *lifetime
+		case "wait":
+			cfg.Wait = *wait
+		case "stats":
+			cfg.StatsInterval = *statsEvery
+		case "join-timeout":
+			cfg.JoinTimeout = *joinTimeout
+		case "drain-timeout":
+			cfg.DrainTimeout = *drainTimeout
+		}
+	})
+
 	opts := pier.DefaultOptions()
-	opts.Stats.Interval = *statsEvery
-	node, err := pier.StartNode(*listen, env.Addr(*join), time.Now().UnixNano(), opts)
+	opts.Stats.Interval = cfg.StatsInterval
+	node, err := pier.StartNode(cfg.Listen, env.Addr(cfg.Join), time.Now().UnixNano(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "start:", err)
 		os.Exit(1)
 	}
-	defer node.Close()
-	if *join != "" && !node.WaitReady(15*time.Second) {
-		fmt.Fprintln(os.Stderr, "failed to join the overlay via", *join)
-		os.Exit(1)
+	if cfg.Join != "" {
+		if err := node.WaitJoin(cfg.JoinTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			node.Close()
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("pier node up at %s", node.Addr())
-	if *join != "" {
-		fmt.Printf(" (joined via %s)", *join)
+	fmt.Printf("pier-node: up at %s", node.Addr())
+	if cfg.Join != "" {
+		fmt.Printf(" (joined via %s)", cfg.Join)
 	}
 	fmt.Println()
 
+	var adminSrv *http.Server
+	adminErr := make(chan error, 1)
+	if cfg.Admin != "" {
+		adminSrv = &http.Server{Addr: cfg.Admin, Handler: pier.AdminHandler(node)}
+		go func() {
+			fmt.Printf("pier-node: admin plane at http://%s\n", cfg.Admin)
+			if err := adminSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				adminErr <- err
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	shellDone := make(chan struct{})
+	if *interactive {
+		go func() {
+			defer close(shellDone)
+			runShell(node, cfg.Lifetime, cfg.Wait)
+		}()
+	}
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("pier-node: %v, shutting down\n", sig)
+	case <-shellDone:
+		fmt.Println("pier-node: shell exited, shutting down")
+	case err := <-adminErr:
+		fmt.Fprintln(os.Stderr, "admin:", err)
+		node.Close()
+		os.Exit(1)
+	}
+	shutdown(node, adminSrv, cfg.DrainTimeout)
+}
+
+// shutdown drains the node gracefully: stop accepting admin requests
+// and let in-flight query streams finish, cancel the queries still
+// live on this node, hand the zone and soft state to a peer with
+// Leave, and close the transport.
+func shutdown(node *pier.RealNode, adminSrv *http.Server, drain time.Duration) {
+	if adminSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		if err := adminSrv.Shutdown(ctx); err != nil {
+			adminSrv.Close()
+		}
+		cancel()
+	}
+	cancelled := 0
+	for _, q := range node.LiveQueries() {
+		if q.Initiator && node.Cancel(q.ID) {
+			cancelled++
+		}
+	}
+	fmt.Printf("pier-node: drained %d live queries\n", cancelled)
+	node.Leave()
+	// Leave queues zone-transfer puts to a peer; give the writer
+	// goroutines a moment to flush before the sockets close.
+	time.Sleep(200 * time.Millisecond)
+	node.Close()
+	fmt.Println("pier-node: left overlay, shutdown complete")
+}
+
+// runShell is the interactive operator console; it returns on EOF or
+// quit, and the caller runs the normal graceful shutdown.
+func runShell(node *pier.RealNode, lifetime, wait time.Duration) {
 	cat := pier.Catalog{}
 	var iid atomic.Int64
+	iid.Store(time.Now().UnixNano())
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -72,14 +280,14 @@ func main() {
 		case line == "quit" || line == "exit":
 			return
 		case line == "info":
-			node.Do(func() {
-				fmt.Printf("addr=%s ready=%v neighbors=%d stored-items=%d\n",
-					node.Addr(), node.Router().Ready(),
-					len(node.Router().Neighbors()), node.Provider().Store().TotalLen())
-			})
+			printInfo(node.Snapshot())
 		case fields[0] == "table" && len(fields) >= 4:
 			name, key := fields[1], fields[2]
-			cat[name] = pier.SQLTable{Name: name, Cols: fields[3:], Key: key}
+			t := pier.SQLTable{Name: name, Cols: fields[3:], Key: key}
+			cat[name] = t
+			// Also into the DHT catalog, so the admin plane and remote
+			// QuerySQL planners see the schema.
+			node.RegisterTable(t, 0)
 			fmt.Printf("registered %s(%s) key=%s\n", name, strings.Join(fields[3:], ","), key)
 		case fields[0] == "publish" && len(fields) >= 3:
 			table := fields[1]
@@ -97,10 +305,10 @@ func main() {
 				vals = append(vals, parseVal(f))
 			}
 			rid := core.ValueString(vals[tb.Col(tb.Key)])
-			node.PublishSync(table, rid, iid.Add(1), &pier.Tuple{Rel: table, Vals: vals}, *lifetime)
+			node.Publish(table, rid, iid.Add(1), &pier.Tuple{Rel: table, Vals: vals}, lifetime)
 			fmt.Printf("published %s/%s\n", table, rid)
 		case fields[0] == "sql":
-			runSQL(node, cat, strings.TrimSpace(strings.TrimPrefix(line, "sql")), *wait)
+			runSQL(node, cat, strings.TrimSpace(strings.TrimPrefix(line, "sql")), wait)
 		case fields[0] == "stats":
 			showStats(node, fields[1:])
 		default:
@@ -110,17 +318,28 @@ func main() {
 	}
 }
 
-// showStats prints deployment estimates, link counters, and — given a
-// table name — the catalog's rolled-up statistics for it.
+// printInfo renders the status slice of the snapshot — the same struct
+// GET /api/status serves.
+func printInfo(s pier.Snapshot) {
+	fmt.Printf("addr=%s ready=%v uptime=%.0fs neighbors=%d overlay≈%d stored-items=%d live-queries=%d/%d\n",
+		s.Addr, s.Ready, s.UptimeSeconds, len(s.Neighbors), s.OverlayNodes,
+		s.StoredItems, s.OpenCollectors, s.ActiveExecs)
+}
+
+// showStats prints the snapshot's counter families and — given a table
+// name — the catalog's rolled-up statistics for it.
 func showStats(node *pier.RealNode, args []string) {
-	node.Do(func() {
-		net := node.Stats().NetStats()
-		fmt.Printf("deployment: nodes≈%d hop=%v lookup-hops=%.2f\n",
-			net.Nodes, net.HopLatency, net.LookupHops)
-	})
-	if ls, ok := node.TransportStats(); ok {
+	s := node.Snapshot()
+	fmt.Printf("deployment: nodes≈%d hop=%.1fms lookup-hops=%.2f cached-stats-tables=%d\n",
+		s.OverlayNodes, s.HopLatencyMS, s.LookupHops, s.CachedStatsTables)
+	fmt.Printf("queries: collectors=%d executors=%d result-batches=%d result-tuples=%d credit-grants=%d stalls=%d\n",
+		s.OpenCollectors, s.ActiveExecs, s.Query.ResultBatches, s.Query.ResultTuples,
+		s.Query.CreditGrants, s.Query.CreditStalls)
+	fmt.Printf("indexes: defs=%d scans=%d visits=%d\n", len(s.Indexes), s.IndexScans, s.IndexVisits)
+	if s.Transport != nil {
 		fmt.Printf("link: frames=%d batches=%d bytes=%d recv-frames=%d recv-bytes=%d drops=%d\n",
-			ls.FramesSent, ls.BatchesSent, ls.BytesSent, ls.FramesRecv, ls.BytesRecv, ls.Drops)
+			s.Transport.FramesSent, s.Transport.BatchesSent, s.Transport.BytesSent,
+			s.Transport.FramesRecv, s.Transport.BytesRecv, s.Transport.Drops)
 	}
 	if len(args) == 0 {
 		return
@@ -165,7 +384,7 @@ func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duratio
 		// CREATE INDEX name ON table (col): announced deployment-wide;
 		// the local catalog picks up the index so subsequent sargable
 		// queries plan index scans.
-		if err := node.ExecSync(src, cat); err != nil {
+		if err := node.Exec(src, cat); err != nil {
 			fmt.Println("error:", err)
 			return
 		}
@@ -178,7 +397,7 @@ func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duratio
 		return
 	}
 	results := make(chan *core.Tuple, 1024)
-	id, err := node.QuerySync(plan, func(t *core.Tuple, _ int) {
+	id, err := node.Query(plan, func(t *core.Tuple, _ int) {
 		select {
 		case results <- t:
 		default:
@@ -189,12 +408,12 @@ func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duratio
 		return
 	}
 	if plan.AutoStrategy && len(plan.Tables) == 2 {
-		// QuerySync resolved the strategy on the event loop (catalog
+		// Query resolved the strategy on the event loop (catalog
 		// choice, or the default if the catalog is cold).
 		fmt.Printf("(strategy: %v)\n", plan.Strategy)
 	}
 	if len(plan.Tables) == 1 && plan.Tables[0].IndexScan != nil {
-		// Still set after QuerySync: the access choice kept the index.
+		// Still set after Query: the access choice kept the index.
 		fmt.Printf("(access: %s)\n", plan.Tables[0].IndexScan)
 	}
 	deadline := time.After(wait)
@@ -205,7 +424,7 @@ func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duratio
 			n++
 			fmt.Printf("  %s\n", t)
 		case <-deadline:
-			node.Do(func() { node.Cancel(id) })
+			node.Cancel(id)
 			fmt.Printf("(%d rows)\n", n)
 			return
 		}

@@ -61,7 +61,7 @@ func main() {
 			iid++
 			t := &pier.Tuple{Rel: "files", Vals: []pier.Value{f.name, f.size, string(nodes[i].Addr())}}
 			// resourceID = filename: equality search is one DHT get.
-			nodes[i].PublishSync("files", f.name, iid, t, 5*time.Minute)
+			nodes[i].Publish("files", f.name, iid, t, 5*time.Minute)
 		}
 	}
 	time.Sleep(500 * time.Millisecond) // puts are async
@@ -72,7 +72,7 @@ func main() {
 		must(err)
 		var mu sync.Mutex
 		var rows []*pier.Tuple
-		_, err = nodes[2].QuerySync(plan, func(t *core.Tuple, _ int) {
+		_, err = nodes[2].Query(plan, func(t *core.Tuple, _ int) {
 			mu.Lock()
 			rows = append(rows, t)
 			mu.Unlock()

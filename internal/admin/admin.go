@@ -1,0 +1,421 @@
+package admin
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Backend is the node surface the admin plane serves. The public pier
+// package adapts its Session implementations (simulated and real
+// nodes) onto it; handlers call nothing else.
+//
+// Errors returned by RunSQL, RegisterTable, and Publish are classified
+// by wrapping: ErrUnavailable maps to 503, everything else to 400 (the
+// inputs arrived over HTTP, so a failure to apply them is the client's
+// problem unless the deployment itself is unreachable). Handlers never
+// answer 5xx for malformed input.
+type Backend interface {
+	// Snapshot captures the node's observable state.
+	Snapshot() Snapshot
+
+	// Queries lists the queries currently alive on the node.
+	Queries() []QueryInfo
+
+	// RunSQL runs one SQL statement against the deployment's DHT
+	// catalog. DDL (CREATE INDEX) completes before returning, with
+	// isQuery false. For SELECT, isQuery is true, id is the live query
+	// id, and result rows stream into each — called on the node's
+	// event loop, so it must never block — until Cancel(id).
+	RunSQL(src string, each func(Row)) (id uint64, isQuery bool, err error)
+
+	// Cancel stops a query initiated on this node, reporting whether
+	// it was found.
+	Cancel(id uint64) bool
+
+	// RegisterTable publishes a table schema into the DHT catalog.
+	RegisterTable(name, key string, cols []string) error
+
+	// Publish stores one row under the table's key column, returning
+	// the resourceID it landed on.
+	Publish(table string, values []any, lifetime time.Duration) (rid string, err error)
+
+	// Leave departs the overlay gracefully (soft state hands off to a
+	// peer).
+	Leave()
+}
+
+// ErrUnavailable marks a Backend error caused by the deployment being
+// unreachable (a catalog lookup that timed out, a node mid-shutdown)
+// rather than by the request; handlers answer it with 503.
+var ErrUnavailable = errors.New("admin: deployment unavailable")
+
+// Limits bound what one HTTP request may ask of the node.
+type Limits struct {
+	// MaxWait caps how long POST /api/queries collects results
+	// (default 60s); DefaultWait applies when the request names none
+	// (default 5s).
+	MaxWait     time.Duration
+	DefaultWait time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// RowBuffer is the per-stream result buffer between the node's
+	// event loop and the HTTP writer; rows beyond it are dropped and
+	// counted in the stream trailer (default 4096).
+	RowBuffer int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxWait <= 0 {
+		l.MaxWait = 60 * time.Second
+	}
+	if l.DefaultWait <= 0 {
+		l.DefaultWait = 5 * time.Second
+	}
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = 1 << 20
+	}
+	if l.RowBuffer <= 0 {
+		l.RowBuffer = 4096
+	}
+	return l
+}
+
+// Server is the embeddable admin-plane handler. It is a plain
+// http.Handler: mount it on any mux or serve it directly.
+type Server struct {
+	b   Backend
+	lim Limits
+	mux *http.ServeMux
+}
+
+// New builds the admin handler over a backend with default Limits.
+func New(b Backend) *Server { return NewWithLimits(b, Limits{}) }
+
+// NewWithLimits builds the admin handler with explicit request bounds.
+func NewWithLimits(b Backend, lim Limits) *Server {
+	s := &Server{b: b, lim: lim.withDefaults(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("GET /api/routing", s.handleRouting)
+	s.mux.HandleFunc("GET /api/softstate", s.handleSoftState)
+	s.mux.HandleFunc("GET /api/indexes", s.handleIndexes)
+	s.mux.HandleFunc("GET /api/queries", s.handleQueries)
+	s.mux.HandleFunc("POST /api/queries", s.handleRunQuery)
+	s.mux.HandleFunc("DELETE /api/queries/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /api/tables", s.handleRegisterTable)
+	s.mux.HandleFunc("POST /api/publish", s.handlePublish)
+	s.mux.HandleFunc("POST /api/leave", s.handleLeave)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON serves v with the proper content type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// errorBody is the JSON error envelope every non-2xx answer carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// backendStatus maps a Backend error to its HTTP status.
+func backendStatus(err error) int {
+	if errors.Is(err, ErrUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// decodeBody parses a bounded JSON request body into v, rejecting
+// trailing garbage.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.lim.MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "bad request body: trailing data")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.Snapshot())
+}
+
+// routingView is the GET /api/routing projection of the snapshot.
+type routingView struct {
+	Addr         string   `json:"addr"`
+	Ready        bool     `json:"ready"`
+	Neighbors    []string `json:"neighbors"`
+	OverlayNodes int      `json:"overlay_nodes"`
+	LookupHops   float64  `json:"lookup_hops"`
+	HopLatencyMS float64  `json:"hop_latency_ms"`
+}
+
+func (s *Server) handleRouting(w http.ResponseWriter, r *http.Request) {
+	snap := s.b.Snapshot()
+	writeJSON(w, http.StatusOK, routingView{
+		Addr:         snap.Addr,
+		Ready:        snap.Ready,
+		Neighbors:    snap.Neighbors,
+		OverlayNodes: snap.OverlayNodes,
+		LookupHops:   snap.LookupHops,
+		HopLatencyMS: snap.HopLatencyMS,
+	})
+}
+
+// softStateView is the GET /api/softstate projection of the snapshot.
+type softStateView struct {
+	StoredItems int              `json:"stored_items"`
+	Namespaces  []NamespaceCount `json:"namespaces"`
+}
+
+func (s *Server) handleSoftState(w http.ResponseWriter, r *http.Request) {
+	snap := s.b.Snapshot()
+	writeJSON(w, http.StatusOK, softStateView{StoredItems: snap.StoredItems, Namespaces: snap.SoftState})
+}
+
+// indexesView is the GET /api/indexes projection of the snapshot.
+type indexesView struct {
+	Indexes []IndexInfo `json:"indexes"`
+	Scans   int64       `json:"scans"`
+	Visits  int64       `json:"visits"`
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	snap := s.b.Snapshot()
+	writeJSON(w, http.StatusOK, indexesView{Indexes: snap.Indexes, Scans: snap.IndexScans, Visits: snap.IndexVisits})
+}
+
+// queriesView wraps the live-query listing.
+type queriesView struct {
+	Queries []QueryInfo `json:"queries"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, queriesView{Queries: s.b.Queries()})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query id must be a decimal uint64: %q", r.PathValue("id"))
+		return
+	}
+	if !s.b.Cancel(id) {
+		writeError(w, http.StatusNotFound, "no live query %d initiated on this node", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cancelled": strconv.FormatUint(id, 10)})
+}
+
+// runQueryRequest is the POST /api/queries body.
+type runQueryRequest struct {
+	// SQL is the statement: a SELECT (results stream back as NDJSON)
+	// or CREATE INDEX (completes synchronously).
+	SQL string `json:"sql"`
+	// WaitMS bounds how long the stream collects results; 0 uses the
+	// server default, values above the server cap are clamped.
+	WaitMS int `json:"wait_ms"`
+	// Limit stops the stream after this many rows (0 = no limit).
+	Limit int `json:"limit"`
+}
+
+// streamMeta is the first NDJSON line of a query stream.
+type streamMeta struct {
+	ID string `json:"id"`
+}
+
+// streamTrailer is the last NDJSON line of a query stream.
+type streamTrailer struct {
+	Rows    int `json:"rows"`
+	Dropped int `json:"dropped"`
+}
+
+// handleRunQuery runs SQL and streams results as NDJSON: one meta line
+// carrying the query id, one line per result row, and a trailer with
+// the row count and how many rows overflowed the stream buffer. DDL
+// answers a plain JSON object instead of a stream.
+func (s *Server) handleRunQuery(w http.ResponseWriter, r *http.Request) {
+	var req runQueryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	wait := s.lim.DefaultWait
+	if req.WaitMS > 0 {
+		wait = time.Duration(req.WaitMS) * time.Millisecond
+	}
+	if wait > s.lim.MaxWait {
+		wait = s.lim.MaxWait
+	}
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "limit must be non-negative")
+		return
+	}
+
+	// The row channel decouples the node's event loop from the HTTP
+	// writer: each never blocks, overflow is dropped and reported.
+	rows := make(chan Row, s.lim.RowBuffer)
+	dropped := 0
+	var droppedCh = make(chan struct{}, 1)
+	each := func(row Row) {
+		select {
+		case rows <- row:
+		default:
+			select {
+			case droppedCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+	id, isQuery, err := s.b.RunSQL(req.SQL, each)
+	if err != nil {
+		writeError(w, backendStatus(err), "%v", err)
+		return
+	}
+	if !isQuery {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "ddl": true})
+		return
+	}
+	defer s.b.Cancel(id)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(streamMeta{ID: strconv.FormatUint(id, 10)})
+	flush()
+
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	n := 0
+stream:
+	for {
+		select {
+		case row := <-rows:
+			if err := enc.Encode(row); err != nil {
+				return // client gone
+			}
+			flush()
+			n++
+			if req.Limit > 0 && n >= req.Limit {
+				break stream
+			}
+		case <-droppedCh:
+			dropped++
+		case <-deadline.C:
+			break stream
+		case <-r.Context().Done():
+			return
+		}
+	}
+	// Rows that raced the deadline into the channel count as dropped:
+	// the stream is over.
+	for {
+		select {
+		case <-rows:
+			dropped++
+		case <-droppedCh:
+			dropped++
+		default:
+			_ = enc.Encode(streamTrailer{Rows: n, Dropped: dropped})
+			flush()
+			return
+		}
+	}
+}
+
+// registerTableRequest is the POST /api/tables body.
+type registerTableRequest struct {
+	// Name and Cols describe the relation; Key names the column used
+	// as the base resourceID.
+	Name string   `json:"name"`
+	Key  string   `json:"key"`
+	Cols []string `json:"cols"`
+}
+
+func (s *Server) handleRegisterTable(w http.ResponseWriter, r *http.Request) {
+	var req registerTableRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.Key == "" || len(req.Cols) == 0 {
+		writeError(w, http.StatusBadRequest, "name, key, and cols are all required")
+		return
+	}
+	if err := s.b.RegisterTable(req.Name, req.Key, req.Cols); err != nil {
+		writeError(w, backendStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"registered": req.Name})
+}
+
+// publishRequest is the POST /api/publish body.
+type publishRequest struct {
+	// Table names a registered relation; Values is one row in column
+	// order (numbers, strings, bools).
+	Table  string `json:"table"`
+	Values []any  `json:"values"`
+	// LifetimeMS bounds the soft-state lifetime (0 uses the node's
+	// default).
+	LifetimeMS int `json:"lifetime_ms"`
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req publishRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Table == "" || len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, "table and values are required")
+		return
+	}
+	if req.LifetimeMS < 0 {
+		writeError(w, http.StatusBadRequest, "lifetime_ms must be non-negative")
+		return
+	}
+	rid, err := s.b.Publish(req.Table, req.Values, time.Duration(req.LifetimeMS)*time.Millisecond)
+	if err != nil {
+		writeError(w, backendStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"table": req.Table, "rid": rid})
+}
+
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	s.b.Leave()
+	writeJSON(w, http.StatusOK, map[string]any{"left": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.b.Snapshot())
+}

@@ -1,0 +1,577 @@
+package admin
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pier/internal/env"
+)
+
+// fakeBackend is an in-memory Backend for handler tests.
+type fakeBackend struct {
+	mu        sync.Mutex
+	snap      Snapshot
+	queries   []QueryInfo
+	cancelled []uint64
+	liveIDs   map[uint64]bool
+	rows      []Row
+	sqlErr    error
+	left      bool
+	published []string
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		snap: Snapshot{
+			Addr:              "127.0.0.1:7001",
+			StartedAt:         time.Unix(1700000000, 0),
+			UptimeSeconds:     12.5,
+			Ready:             true,
+			Neighbors:         []string{"127.0.0.1:7002", "127.0.0.1:7003"},
+			OverlayNodes:      3,
+			HopLatencyMS:      1.25,
+			LookupHops:        1.5,
+			SoftState:         []NamespaceCount{{Namespace: "R", Items: 4}, {Namespace: `we"ird\ns`, Items: 1}},
+			StoredItems:       5,
+			Indexes:           []IndexInfo{{Name: "r_num1", Table: "R", Col: "num1"}},
+			IndexScans:        7,
+			IndexVisits:       21,
+			CachedStatsTables: 2,
+			ActiveExecs:       1,
+			OpenCollectors:    1,
+			Query: QueryChannelStats{
+				ResultBatches: 10, ResultTuples: 100, CreditGrants: 5, CreditStalls: 1, BloomFallbacks: 0,
+			},
+			Transport: &env.LinkStats{FramesSent: 40, BatchesSent: 30, BytesSent: 9000, FramesRecv: 38, BytesRecv: 8800, Drops: 2},
+		},
+		liveIDs: map[uint64]bool{42: true, math.MaxUint64: true},
+		queries: []QueryInfo{
+			{ID: math.MaxUint64, Initiator: true, Tables: []string{"R", "S"}, Started: time.Unix(1700000100, 0)},
+		},
+	}
+}
+
+func (f *fakeBackend) Snapshot() Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snap
+}
+
+func (f *fakeBackend) Queries() []QueryInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]QueryInfo(nil), f.queries...)
+}
+
+func (f *fakeBackend) RunSQL(src string, each func(Row)) (uint64, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sqlErr != nil {
+		return 0, false, f.sqlErr
+	}
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(src)), "CREATE") {
+		return 0, false, nil
+	}
+	for _, r := range f.rows {
+		each(r)
+	}
+	return 42, true, nil
+}
+
+func (f *fakeBackend) Cancel(id uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cancelled = append(f.cancelled, id)
+	return f.liveIDs[id]
+}
+
+func (f *fakeBackend) RegisterTable(name, key string, cols []string) error {
+	for _, c := range cols {
+		if c == key {
+			return nil
+		}
+	}
+	return fmt.Errorf("key column %q is not one of the table's columns", key)
+}
+
+func (f *fakeBackend) Publish(table string, values []any, lifetime time.Duration) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if table == "missing" {
+		return "", fmt.Errorf("table %q not in the DHT catalog", table)
+	}
+	if table == "offline" {
+		return "", fmt.Errorf("catalog lookup timed out: %w", ErrUnavailable)
+	}
+	f.published = append(f.published, table)
+	return "rid-0", nil
+}
+
+func (f *fakeBackend) Leave() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.left = true
+}
+
+func newTestServer(t *testing.T, f *fakeBackend) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(f))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestStatusServesSnapshot(t *testing.T) {
+	f := newFakeBackend()
+	srv := newTestServer(t, f)
+
+	var got Snapshot
+	resp := getJSON(t, srv.URL+"/api/status", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got.Addr != f.snap.Addr || !got.Ready || got.StoredItems != 5 {
+		t.Fatalf("snapshot mismatch: %+v", got)
+	}
+	if got.Transport == nil || got.Transport.FramesSent != 40 {
+		t.Fatalf("transport counters lost in serialization: %+v", got.Transport)
+	}
+	if got.Query.ResultTuples != 100 {
+		t.Fatalf("query-channel counters lost: %+v", got.Query)
+	}
+}
+
+func TestRoutingSoftStateIndexViews(t *testing.T) {
+	srv := newTestServer(t, newFakeBackend())
+
+	var routing map[string]any
+	getJSON(t, srv.URL+"/api/routing", &routing)
+	if routing["addr"] != "127.0.0.1:7001" || routing["overlay_nodes"].(float64) != 3 {
+		t.Fatalf("routing view: %v", routing)
+	}
+	if n := len(routing["neighbors"].([]any)); n != 2 {
+		t.Fatalf("neighbors = %d", n)
+	}
+
+	var soft map[string]any
+	getJSON(t, srv.URL+"/api/softstate", &soft)
+	if soft["stored_items"].(float64) != 5 {
+		t.Fatalf("softstate view: %v", soft)
+	}
+
+	var idx map[string]any
+	getJSON(t, srv.URL+"/api/indexes", &idx)
+	if idx["scans"].(float64) != 7 || idx["visits"].(float64) != 21 {
+		t.Fatalf("indexes view: %v", idx)
+	}
+}
+
+// TestQueryIDsSurviveJSON: query ids are full uint64s; they must round-
+// trip as decimal strings, not float64-mangled numbers.
+func TestQueryIDsSurviveJSON(t *testing.T) {
+	srv := newTestServer(t, newFakeBackend())
+	resp, err := http.Get(srv.URL + "/api/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	want := `"id":"18446744073709551615"`
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("query listing must carry string ids, got %s", body)
+	}
+	var view struct {
+		Queries []QueryInfo `json:"queries"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Queries) != 1 || view.Queries[0].ID != math.MaxUint64 {
+		t.Fatalf("round-trip lost the id: %+v", view.Queries)
+	}
+}
+
+func TestCancelQuery(t *testing.T) {
+	f := newFakeBackend()
+	srv := newTestServer(t, f)
+	del := func(path string) *http.Response {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := del("/api/queries/42"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel live query = %d", resp.StatusCode)
+	}
+	if resp := del("/api/queries/41"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown query = %d, want 404", resp.StatusCode)
+	}
+	// Hostile ids must be 4xx, never 5xx.
+	for _, bad := range []string{"/api/queries/zebra", "/api/queries/-1", "/api/queries/1e9", "/api/queries/18446744073709551616"} {
+		if resp := del(bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("DELETE %s = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestRunQueryStreamsNDJSON(t *testing.T) {
+	f := newFakeBackend()
+	f.rows = []Row{
+		{Window: 0, Values: []any{"a", float64(1)}},
+		{Window: 0, Values: []any{"b", float64(2)}},
+	}
+	srv := newTestServer(t, f)
+
+	resp, err := http.Post(srv.URL+"/api/queries", "application/json",
+		strings.NewReader(`{"sql":"SELECT x FROM T","wait_ms":100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 4 { // meta, 2 rows, trailer
+		t.Fatalf("stream had %d lines: %v", len(lines), lines)
+	}
+	var meta streamMeta
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil || meta.ID != "42" {
+		t.Fatalf("meta line: %q (%v)", lines[0], err)
+	}
+	var row Row
+	if err := json.Unmarshal([]byte(lines[1]), &row); err != nil || row.Values[0] != "a" {
+		t.Fatalf("row line: %q", lines[1])
+	}
+	var tr streamTrailer
+	if err := json.Unmarshal([]byte(lines[3]), &tr); err != nil || tr.Rows != 2 || tr.Dropped != 0 {
+		t.Fatalf("trailer line: %q", lines[3])
+	}
+	// The stream handler must cancel the query when the stream ends.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.cancelled) == 0 || f.cancelled[len(f.cancelled)-1] != 42 {
+		t.Fatalf("stream end did not cancel the query: %v", f.cancelled)
+	}
+}
+
+func TestRunQueryLimitStopsStream(t *testing.T) {
+	f := newFakeBackend()
+	for i := 0; i < 50; i++ {
+		f.rows = append(f.rows, Row{Values: []any{float64(i)}})
+	}
+	srv := newTestServer(t, f)
+	resp, err := http.Post(srv.URL+"/api/queries", "application/json",
+		strings.NewReader(`{"sql":"SELECT x FROM T","wait_ms":5000,"limit":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 5 { // meta, 3 rows, trailer
+		t.Fatalf("limit=3 streamed %d lines", len(lines))
+	}
+}
+
+func TestRunQueryDDL(t *testing.T) {
+	srv := newTestServer(t, newFakeBackend())
+	resp, err := http.Post(srv.URL+"/api/queries", "application/json",
+		strings.NewReader(`{"sql":"CREATE INDEX r1 ON R (num1)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["ddl"] != true || out["ok"] != true {
+		t.Fatalf("DDL answer: %v", out)
+	}
+}
+
+// TestHostileInputsNever5xx: malformed bodies and bad SQL are client
+// errors; only an unreachable deployment may answer 5xx.
+func TestHostileInputsNever5xx(t *testing.T) {
+	f := newFakeBackend()
+	srv := newTestServer(t, f)
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	cases := []struct{ path, body string }{
+		{"/api/queries", `{not json`},
+		{"/api/queries", `{"sql":""}`},
+		{"/api/queries", `{"sql":"SELECT x FROM T"} trailing`},
+		{"/api/queries", `{"sql":"SELECT x FROM T","limit":-4}`},
+		{"/api/tables", `{"name":"","key":"k","cols":["k"]}`},
+		{"/api/tables", `{"name":"T","key":"missing","cols":["a","b"]}`},
+		{"/api/publish", `{"table":"","values":[1]}`},
+		{"/api/publish", `{"table":"T","values":[]}`},
+		{"/api/publish", `{"table":"T","values":[1],"lifetime_ms":-5}`},
+		{"/api/publish", `{"table":"missing","values":[1]}`},
+	}
+	for _, c := range cases {
+		if resp := post(c.path, c.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %q = %d, want 400", c.path, c.body, resp.StatusCode)
+		}
+	}
+
+	// Malformed SQL surfaces the parser error as a 400.
+	f.mu.Lock()
+	f.sqlErr = errors.New("parse error at SELEKT")
+	f.mu.Unlock()
+	if resp := post("/api/queries", `{"sql":"SELEKT"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad SQL = %d, want 400", resp.StatusCode)
+	}
+
+	// Unreachable deployment is the one 5xx: 503 via ErrUnavailable.
+	f.mu.Lock()
+	f.sqlErr = fmt.Errorf("catalog timed out: %w", ErrUnavailable)
+	f.mu.Unlock()
+	if resp := post("/api/queries", `{"sql":"SELECT x FROM T"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unavailable deployment = %d, want 503", resp.StatusCode)
+	}
+	if resp := post("/api/publish", `{"table":"offline","values":[1]}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unavailable publish = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestPublishAndRegisterTable(t *testing.T) {
+	f := newFakeBackend()
+	srv := newTestServer(t, f)
+	resp, err := http.Post(srv.URL+"/api/tables", "application/json",
+		strings.NewReader(`{"name":"fish","key":"name","cols":["name","size"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register = %d", resp.StatusCode)
+	}
+	var pub map[string]any
+	resp2, err := http.Post(srv.URL+"/api/publish", "application/json",
+		strings.NewReader(`{"table":"fish","values":["salmon",7]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&pub); err != nil {
+		t.Fatal(err)
+	}
+	if pub["rid"] != "rid-0" {
+		t.Fatalf("publish answer: %v", pub)
+	}
+}
+
+func TestLeave(t *testing.T) {
+	f := newFakeBackend()
+	srv := newTestServer(t, f)
+	resp, err := http.Post(srv.URL+"/api/leave", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.left {
+		t.Fatal("POST /api/leave did not reach the backend")
+	}
+}
+
+// parseMetrics reads an exposition-format scrape into name→value
+// (labeled series keep their label string in the name).
+func parseMetrics(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndex(line, " ")
+		if i < 0 {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func TestMetricsScrape(t *testing.T) {
+	f := newFakeBackend()
+	srv := newTestServer(t, f)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	m := parseMetrics(t, body)
+
+	// Every family the acceptance criteria name must be present:
+	// transport, query channel (batches/credits), catalog, plus the
+	// operational gauges.
+	wantSeries := map[string]float64{
+		"pier_up":                             1,
+		"pier_ready":                          1,
+		"pier_overlay_nodes":                  3,
+		"pier_softstate_stored_items":         5,
+		`pier_softstate_items{namespace="R"}`: 4,
+		"pier_catalog_cached_tables":          2,
+		"pier_index_scans_total":              7,
+		"pier_index_visits_total":             21,
+		"pier_queries_active_executors":       1,
+		"pier_query_result_batches_total":     10,
+		"pier_query_result_tuples_total":      100,
+		"pier_query_credit_grants_total":      5,
+		"pier_query_credit_stalls_total":      1,
+		"pier_transport_frames_sent_total":    40,
+		"pier_transport_batches_sent_total":   30,
+		"pier_transport_bytes_sent_total":     9000,
+		"pier_transport_frames_recv_total":    38,
+		"pier_transport_bytes_recv_total":     8800,
+		"pier_transport_drops_total":          2,
+	}
+	for series, want := range wantSeries {
+		got, ok := m[series]
+		if !ok {
+			t.Errorf("scrape missing %s", series)
+		} else if got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	// Label values must be escaped per the exposition format.
+	if !strings.Contains(body, `pier_softstate_items{namespace="we\"ird\\ns"}`) {
+		t.Errorf("label escaping broken; scrape:\n%s", body)
+	}
+	// Counters must be TYPEd counter, gauges gauge.
+	for _, want := range []string{
+		"# TYPE pier_query_result_batches_total counter",
+		"# TYPE pier_transport_frames_sent_total counter",
+		"# TYPE pier_softstate_items gauge",
+		"# TYPE pier_queries_active_executors gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestMetricsMonotonicity: counters must not regress between scrapes as
+// the node makes progress.
+func TestMetricsMonotonicity(t *testing.T) {
+	f := newFakeBackend()
+	srv := newTestServer(t, f)
+
+	scrape := func() map[string]float64 {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return parseMetrics(t, string(raw))
+	}
+
+	first := scrape()
+	f.mu.Lock()
+	f.snap.Query.ResultBatches += 3
+	f.snap.Query.ResultTuples += 30
+	f.snap.Query.CreditGrants += 2
+	f.snap.Transport.FramesSent += 12
+	f.snap.Transport.BytesSent += 4096
+	f.snap.IndexScans++
+	f.mu.Unlock()
+	second := scrape()
+
+	for name := range first {
+		if !strings.HasSuffix(name, "_total") {
+			continue
+		}
+		if second[name] < first[name] {
+			t.Errorf("counter %s regressed: %v -> %v", name, first[name], second[name])
+		}
+	}
+	if second["pier_query_result_batches_total"] != first["pier_query_result_batches_total"]+3 {
+		t.Errorf("result batches did not advance: %v -> %v",
+			first["pier_query_result_batches_total"], second["pier_query_result_batches_total"])
+	}
+}
+
+// TestMetricsOmitsTransportWithoutLinks: simulated nodes have no link
+// counters; the scrape must omit the family rather than export zeros.
+func TestMetricsOmitsTransportWithoutLinks(t *testing.T) {
+	f := newFakeBackend()
+	f.snap.Transport = nil
+	var buf bytes.Buffer
+	WriteMetrics(&buf, f.Snapshot())
+	if strings.Contains(buf.String(), "pier_transport_") {
+		t.Fatalf("transport family exported without real links:\n%s", buf.String())
+	}
+}
+
+// TestMethodRouting: wrong-method hits answer 405 through the ServeMux
+// method patterns.
+func TestMethodRouting(t *testing.T) {
+	srv := newTestServer(t, newFakeBackend())
+	resp, err := http.Post(srv.URL+"/api/status", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /api/status = %d, want 405", resp.StatusCode)
+	}
+}

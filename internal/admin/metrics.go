@@ -1,0 +1,103 @@
+package admin
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMetrics renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4): every counter family the node collects —
+// transport link counters, the query result channel, index traversal —
+// plus the operational gauges (soft state per namespace, overlay
+// estimates, live-query counts). Families appear in a fixed order so
+// scrapes diff cleanly.
+func WriteMetrics(w io.Writer, s Snapshot) {
+	m := &metricsWriter{w: w}
+
+	m.gauge("pier_up", "Whether the node process is serving.", 1)
+	m.gauge("pier_ready", "Whether the node has joined the overlay and owns key space.", b2f(s.Ready))
+	m.gauge("pier_uptime_seconds", "Seconds since the node stack was assembled.", s.UptimeSeconds)
+
+	m.gauge("pier_overlay_nodes", "Statistics catalog's deployment-size estimate.", float64(s.OverlayNodes))
+	m.gauge("pier_overlay_neighbors", "Overlay routing-table neighbor count.", float64(len(s.Neighbors)))
+	m.gauge("pier_overlay_lookup_hops", "Probed average DHT lookup path length.", s.LookupHops)
+	m.gauge("pier_overlay_hop_latency_seconds", "Probed one-way overlay hop latency.", s.HopLatencyMS/1e3)
+
+	m.typ("pier_softstate_items", "Live soft-state items stored on this node, per namespace.", "gauge")
+	for _, ns := range s.SoftState {
+		m.sample(fmt.Sprintf(`pier_softstate_items{namespace="%s"}`, escapeLabel(ns.Namespace)), float64(ns.Items))
+	}
+	m.gauge("pier_softstate_stored_items", "Live soft-state items stored on this node, all namespaces.", float64(s.StoredItems))
+
+	m.gauge("pier_catalog_cached_tables", "Tables with fresh summaries in the statistics catalog's reader cache.", float64(s.CachedStatsTables))
+
+	m.gauge("pier_index_defs", "PHT index definitions known to this node's agent.", float64(len(s.Indexes)))
+	m.counter("pier_index_scans_total", "PHT range scans started by this node's reader.", float64(s.IndexScans))
+	m.counter("pier_index_visits_total", "Trie nodes visited by this node's PHT reader.", float64(s.IndexVisits))
+
+	m.gauge("pier_queries_active_executors", "Query executors currently running on this node.", float64(s.ActiveExecs))
+	m.gauge("pier_queries_open_collectors", "Queries initiated on this node with live collectors.", float64(s.OpenCollectors))
+
+	m.counter("pier_query_result_batches_total", "Result frames shipped toward query initiators.", float64(s.Query.ResultBatches))
+	m.counter("pier_query_result_tuples_total", "Result tuples shipped toward query initiators.", float64(s.Query.ResultTuples))
+	m.counter("pier_query_credit_grants_total", "Flow-control credit grants issued by collectors on this node.", float64(s.Query.CreditGrants))
+	m.counter("pier_query_credit_stalls_total", "Executor flushes stalled on an exhausted credit window.", float64(s.Query.CreditStalls))
+	m.counter("pier_query_bloom_fallbacks_total", "Bloom-join combines degraded by mismatched filter geometry.", float64(s.Query.BloomFallbacks))
+
+	if s.Transport != nil {
+		t := s.Transport
+		m.counter("pier_transport_frames_sent_total", "Messages handed to the socket layer.", float64(t.FramesSent))
+		m.counter("pier_transport_batches_sent_total", "Socket writes issued (frames/batches is the coalescing factor).", float64(t.BatchesSent))
+		m.counter("pier_transport_bytes_sent_total", "Bytes written, framing included.", float64(t.BytesSent))
+		m.counter("pier_transport_frames_recv_total", "Frames received and decoded.", float64(t.FramesRecv))
+		m.counter("pier_transport_bytes_recv_total", "Bytes received.", float64(t.BytesRecv))
+		m.counter("pier_transport_drops_total", "Messages discarded: full queues, encode failures, dead connections.", float64(t.Drops))
+	}
+}
+
+// metricsWriter accumulates exposition-format lines.
+type metricsWriter struct {
+	w io.Writer
+}
+
+func (m *metricsWriter) typ(name, help, kind string) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+func (m *metricsWriter) sample(series string, v float64) {
+	fmt.Fprintf(m.w, "%s %s\n", series, formatValue(v))
+}
+
+func (m *metricsWriter) gauge(name, help string, v float64) {
+	m.typ(name, help, "gauge")
+	m.sample(name, v)
+}
+
+func (m *metricsWriter) counter(name, help string, v float64) {
+	m.typ(name, help, "counter")
+	m.sample(name, v)
+}
+
+// formatValue prints integral values without an exponent so scrapes
+// stay human-readable; everything else falls back to %g.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// b2f renders a boolean as a 0/1 gauge value.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

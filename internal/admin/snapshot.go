@@ -1,0 +1,131 @@
+// Package admin is the operational plane of a PIER node: an embeddable
+// HTTP server (stdlib only) exposing a REST API over one node's state —
+// status, routing table, soft state, indexes, live queries (list, run,
+// cancel), publish, graceful leave — plus a Prometheus-text /metrics
+// endpoint exporting every counter family the node already collects.
+//
+// The package is deliberately below the public pier package: it defines
+// the serializable Snapshot contract and a small Backend interface, and
+// the root package adapts its Session implementations (simulated and
+// real nodes) onto Backend. Handlers never touch node internals — every
+// read goes through one Snapshot() call, so the REST surface, the
+// /metrics exporter, and the daemon shell all serve the same struct.
+package admin
+
+import (
+	"time"
+
+	"pier/internal/env"
+)
+
+// Snapshot aggregates one node's observable state at a point in time.
+// It is the single serializable struct behind GET /api/status, the
+// /metrics exporter, and the pier-node shell's info/stats commands;
+// field names (via the JSON tags) are the REST contract.
+type Snapshot struct {
+	// Addr is the node's transport address.
+	Addr string `json:"addr"`
+	// StartedAt is when the node stack was assembled; UptimeSeconds is
+	// derived from it at snapshot time. Simulated nodes report virtual
+	// time.
+	StartedAt     time.Time `json:"started_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	// Ready reports whether the node has joined the overlay and owns a
+	// portion of the key space.
+	Ready bool `json:"ready"`
+
+	// Neighbors lists the overlay neighbor addresses (the routing
+	// table's links, GET /api/routing).
+	Neighbors []string `json:"neighbors"`
+	// OverlayNodes is the statistics catalog's deployment-size
+	// estimate; HopLatency and LookupHops are its probe results.
+	OverlayNodes int     `json:"overlay_nodes"`
+	HopLatencyMS float64 `json:"hop_latency_ms"`
+	LookupHops   float64 `json:"lookup_hops"`
+
+	// SoftState summarizes the stored soft state per namespace;
+	// StoredItems is the total across namespaces.
+	SoftState   []NamespaceCount `json:"soft_state"`
+	StoredItems int              `json:"stored_items"`
+
+	// Indexes lists the PHT index definitions this node's agent knows;
+	// IndexScans/IndexVisits are the reader's traversal counters.
+	Indexes     []IndexInfo `json:"indexes"`
+	IndexScans  int64       `json:"index_scans"`
+	IndexVisits int64       `json:"index_visits"`
+
+	// CachedStatsTables counts tables with fresh summaries in the
+	// statistics catalog's reader cache.
+	CachedStatsTables int `json:"cached_stats_tables"`
+
+	// ActiveExecs and OpenCollectors are the engine's live-query
+	// gauges (executors running here; queries initiated here).
+	ActiveExecs    int `json:"active_execs"`
+	OpenCollectors int `json:"open_collectors"`
+
+	// Query is the engine's monotone result-channel counter family.
+	Query QueryChannelStats `json:"query_channel"`
+
+	// Transport is the TCP link counter family; nil on environments
+	// without real links (the simulator).
+	Transport *env.LinkStats `json:"transport,omitempty"`
+}
+
+// NamespaceCount is one namespace's soft-state summary.
+type NamespaceCount struct {
+	// Namespace is the DHT namespace (a table, or an internal family
+	// like pier.catalog / pier.index).
+	Namespace string `json:"namespace"`
+	// Items counts live stored items in it on this node.
+	Items int `json:"items"`
+}
+
+// IndexInfo describes one PHT index definition.
+type IndexInfo struct {
+	// Name is the deployment-unique index name.
+	Name string `json:"name"`
+	// Table and Col identify what the index covers.
+	Table string `json:"table"`
+	Col   string `json:"col"`
+}
+
+// QueryChannelStats mirrors core.QueryStats with JSON names: the
+// monotone counters of the batched, credit-based result channel.
+type QueryChannelStats struct {
+	// ResultBatches and ResultTuples count result frames shipped to
+	// initiators and the tuples they carried.
+	ResultBatches uint64 `json:"result_batches"`
+	ResultTuples  uint64 `json:"result_tuples"`
+	// CreditGrants and CreditStalls count collector-side grants and
+	// executor-side stall episodes of the flow-control window.
+	CreditGrants uint64 `json:"credit_grants"`
+	CreditStalls uint64 `json:"credit_stalls"`
+	// BloomFallbacks counts Bloom-join combines degraded by mismatched
+	// peer filter geometry.
+	BloomFallbacks uint64 `json:"bloom_fallbacks"`
+}
+
+// QueryInfo is the REST form of one live query (GET /api/queries).
+type QueryInfo struct {
+	// ID is the query id, the handle DELETE /api/queries/{id} takes.
+	// It serializes as a decimal string: ids are full uint64s, beyond
+	// what JSON consumers can hold in a float64.
+	ID uint64 `json:"id,string"`
+	// Initiator and Executor report this node's roles in the query.
+	Initiator bool `json:"initiator"`
+	Executor  bool `json:"executor"`
+	// Tables names the plan's input relations.
+	Tables []string `json:"tables"`
+	// Continuous marks a windowed continuous query.
+	Continuous bool `json:"continuous"`
+	// Started is when this node first saw the query.
+	Started time.Time `json:"started"`
+}
+
+// Row is one result tuple as streamed by POST /api/queries (NDJSON).
+type Row struct {
+	// Window is 0 for one-shot queries, the window index otherwise.
+	Window int `json:"window"`
+	// Values are the emitted column values.
+	Values []any `json:"values"`
+}

@@ -259,11 +259,13 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 // Cancel stops a query started on this node: the collector goes
 // immediately, and a cancel multicast tears the query's executors down
 // network-wide — window timers stop and soft state stops being renewed,
-// so the query dies now instead of at its TTL.
-func (eng *Engine) Cancel(id uint64) {
+// so the query dies now instead of at its TTL. It reports whether a
+// live collector for id existed here (false lets the admin plane answer
+// 404 instead of silently acking an unknown id).
+func (eng *Engine) Cancel(id uint64) bool {
 	c, ok := eng.collectors[id]
 	if !ok {
-		return
+		return false
 	}
 	local := c.local
 	eng.closeCollector(id)
@@ -272,6 +274,7 @@ func (eng *Engine) Cancel(id uint64) {
 		// no remote executors to tear down.
 		eng.prov.Multicast(QueryNS, &cancelMsg{ID: id})
 	}
+	return true
 }
 
 // closeCollector reports every still-open window to the observer and
@@ -316,6 +319,67 @@ func (eng *Engine) ActiveExecs() int { return len(eng.execs) }
 // OpenCollectors returns the number of queries initiated on this node
 // whose collectors are still registered (not yet cancelled or expired).
 func (eng *Engine) OpenCollectors() int { return len(eng.collectors) }
+
+// QueryInfo describes one query alive on this node, as surfaced by the
+// admin plane (GET /api/queries) and the daemon shell.
+type QueryInfo struct {
+	// ID is the query id (Cancel's argument).
+	ID uint64
+	// Initiator is true when this node runs the query's collector —
+	// the only role Cancel can tear down network-wide from here.
+	Initiator bool
+	// Executor is true when this node runs one of the query's
+	// executors (every participating node does, the initiator
+	// included).
+	Executor bool
+	// Tables names the plan's input relations.
+	Tables []string
+	// Continuous marks a windowed continuous query.
+	Continuous bool
+	// Started is when this node first saw the query (collector
+	// registration or executor start, whichever exists).
+	Started time.Time
+}
+
+// LiveQueries lists the queries currently alive on this node — one
+// entry per id, merging the collector and executor roles — sorted by
+// id for deterministic output.
+func (eng *Engine) LiveQueries() []QueryInfo {
+	infos := make(map[uint64]*QueryInfo)
+	at := func(id uint64) *QueryInfo {
+		qi := infos[id]
+		if qi == nil {
+			qi = &QueryInfo{ID: id}
+			infos[id] = qi
+		}
+		return qi
+	}
+	for id, c := range eng.collectors {
+		qi := at(id)
+		qi.Initiator = true
+		qi.Continuous = c.plan.Continuous
+		qi.Started = c.start
+		for _, tr := range c.plan.Tables {
+			qi.Tables = append(qi.Tables, tr.NS)
+		}
+	}
+	for id, ex := range eng.execs {
+		qi := at(id)
+		qi.Executor = true
+		qi.Continuous = ex.plan.Continuous
+		if qi.Started.IsZero() {
+			qi.Started = ex.startAt
+			for _, tr := range ex.plan.Tables {
+				qi.Tables = append(qi.Tables, tr.NS)
+			}
+		}
+	}
+	out := make([]QueryInfo, 0, len(infos))
+	for _, id := range env.SortedKeys(infos) {
+		out = append(out, *infos[id])
+	}
+	return out
+}
 
 // HandleMessage consumes engine messages (results at the initiator,
 // credit grants at executors), returning false for anything else.

@@ -72,21 +72,23 @@ type Env interface {
 // transport fills every field; environments without a physical link (the
 // simulator) report nothing. Operators and the statistics catalog's
 // deployment probe read these through the node-level accessor instead of
-// reaching into the transport.
+// reaching into the transport. The JSON field names are part of the
+// admin plane's REST contract (GET /api/status serves this struct
+// verbatim inside the node snapshot).
 type LinkStats struct {
 	// FramesSent counts messages handed to the socket; BatchesSent
 	// counts write calls (FramesSent/BatchesSent is the coalescing
 	// factor of the per-peer write batching).
-	FramesSent  uint64
-	BatchesSent uint64
+	FramesSent  uint64 `json:"frames_sent"`
+	BatchesSent uint64 `json:"batches_sent"`
 	// BytesSent counts bytes written, framing included.
-	BytesSent uint64
+	BytesSent uint64 `json:"bytes_sent"`
 	// FramesRecv and BytesRecv count the inbound direction.
-	FramesRecv uint64
-	BytesRecv  uint64
+	FramesRecv uint64 `json:"frames_recv"`
+	BytesRecv  uint64 `json:"bytes_recv"`
 	// Drops counts messages discarded: full outbound queues, encoding
 	// failures, and frames lost when a connection died mid-batch.
-	Drops uint64
+	Drops uint64 `json:"drops"`
 }
 
 // LinkStatsProvider is the optional Env refinement transports with real

@@ -74,10 +74,10 @@ func clusterRun(n int, cfg ClusterConfig) (kth time.Duration, got, want int) {
 
 	tables := workload.Generate(workload.Config{STuples: cfg.SPerNode * n, Seed: cfg.Seed + 9, PadBytes: 964})
 	for i, r := range tables.R {
-		nodes[i%n].PublishSync("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, 10*time.Minute)
+		nodes[i%n].Publish("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, 10*time.Minute)
 	}
 	for i, s := range tables.S {
-		nodes[i%n].PublishSync("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, 10*time.Minute)
+		nodes[i%n].Publish("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, 10*time.Minute)
 	}
 	// Puts are asynchronous (lookup + direct send); wait until the whole
 	// load is stored so the query's snapshot covers it, as in the
@@ -107,7 +107,7 @@ func clusterRun(n int, cfg ClusterConfig) (kth time.Duration, got, want int) {
 	var arrivals []time.Duration
 	start := time.Now()
 	plan := workload.JoinPlan(core.SymmetricHash, c1, c2, c3)
-	id, err := nodes[0].QuerySync(plan, func(*core.Tuple, int) {
+	id, err := nodes[0].Query(plan, func(*core.Tuple, int) {
 		mu.Lock()
 		arrivals = append(arrivals, time.Since(start))
 		mu.Unlock()
@@ -125,7 +125,7 @@ func clusterRun(n int, cfg ClusterConfig) (kth time.Duration, got, want int) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	nodes[0].Do(func() { nodes[0].Cancel(id) })
+	nodes[0].Cancel(id)
 	mu.Lock()
 	defer mu.Unlock()
 	got = len(arrivals)

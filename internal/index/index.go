@@ -51,6 +51,7 @@ package index
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 	"time"
 
@@ -347,6 +348,19 @@ func (m *Manager) Create(def Def, lifetime time.Duration) error {
 
 // Defs returns the cached index definitions covering a table.
 func (m *Manager) Defs(table string) []Def { return m.defs[table] }
+
+// AllDefs returns every index definition this node's agent currently
+// knows (announced, fetched, or created here), sorted by table then
+// name — the admin plane's GET /api/indexes listing.
+func (m *Manager) AllDefs() []Def {
+	var out []Def
+	for _, table := range env.SortedKeys(m.defs) {
+		defs := append([]Def(nil), m.defs[table]...)
+		sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+		out = append(out, defs...)
+	}
+	return out
+}
 
 // register adds a definition to the cache; backfill additionally
 // inserts entries for every base tuple of the table already stored

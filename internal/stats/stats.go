@@ -424,6 +424,18 @@ func (c *Catalog) Cached(table string) (opt.TableStats, bool) {
 	return e.stats, true
 }
 
+// CachedTables returns the names of tables whose summaries are fresh in
+// this node's reader cache, sorted — the admin plane's catalog gauge.
+func (c *Catalog) CachedTables() []string {
+	var out []string
+	for _, table := range env.SortedKeys(c.cache) {
+		if _, ok := c.Cached(table); ok {
+			out = append(out, table)
+		}
+	}
+	return out
+}
+
 // probeHop times one lookup of a random key and updates the hop-latency
 // estimate using the router's measured average path length.
 func (c *Catalog) probeHop() {

@@ -131,6 +131,7 @@ type Node struct {
 	engine   *core.Engine
 	stats    *stats.Catalog
 	indexes  *index.Manager
+	started  time.Time
 }
 
 // buildNode assembles the stack over an environment and registers the
@@ -154,7 +155,7 @@ func buildNode(e interface {
 	idx := index.New(e, prov, opts.Index)
 	eng.SetIndexRanger(idx)
 	idx.Start()
-	n := &Node{env: e, router: rt, provider: prov, engine: eng, stats: cat, indexes: idx}
+	n := &Node{env: e, router: rt, provider: prov, engine: eng, stats: cat, indexes: idx, started: e.Now()}
 	e.SetHandler(env.HandlerFunc(func(from env.Addr, m env.Message) {
 		if rt.HandleMessage(from, m) {
 			return
@@ -254,8 +255,10 @@ func (n *Node) Query(p *Plan, fn ResultFunc) (uint64, error) {
 	return n.engine.Run(p, fn)
 }
 
-// Cancel stops result delivery for a query started on this node.
-func (n *Node) Cancel(id uint64) { n.engine.Cancel(id) }
+// Cancel stops result delivery for a query started on this node,
+// reporting whether a live query with that id existed here (the admin
+// plane's DELETE /api/queries/{id} turns false into a 404).
+func (n *Node) Cancel(id uint64) bool { return n.engine.Cancel(id) }
 
 // Leave departs the overlay gracefully: the node's zone and its stored
 // soft state transfer to a peer, so a clean shutdown (unlike a crash,

@@ -48,7 +48,7 @@ func startClusterOpts(t *testing.T, n int, opts Options) []*RealNode {
 
 func TestRealNetPutGet(t *testing.T) {
 	nodes := startCluster(t, 4)
-	nodes[1].PublishSync("T", "k1", 1, &Tuple{Rel: "T", Vals: []Value{int64(7), "x"}}, time.Minute)
+	nodes[1].Publish("T", "k1", 1, &Tuple{Rel: "T", Vals: []Value{int64(7), "x"}}, time.Minute)
 
 	// Put is async (lookup + direct send); poll briefly.
 	deadline := time.Now().Add(10 * time.Second)
@@ -87,10 +87,10 @@ func TestRealNetEndToEndJoin(t *testing.T) {
 	nodes := startCluster(t, 5)
 	tables := workload.Generate(workload.Config{STuples: 12, Seed: 31, PadBytes: 32})
 	for i, r := range tables.R {
-		nodes[i%len(nodes)].PublishSync("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, time.Minute)
+		nodes[i%len(nodes)].Publish("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, time.Minute)
 	}
 	for i, s := range tables.S {
-		nodes[i%len(nodes)].PublishSync("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, time.Minute)
+		nodes[i%len(nodes)].Publish("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, time.Minute)
 	}
 	time.Sleep(500 * time.Millisecond) // let puts land
 
@@ -100,7 +100,7 @@ func TestRealNetEndToEndJoin(t *testing.T) {
 	var mu sync.Mutex
 	var got []*Tuple
 	plan := workload.JoinPlan(SymmetricHash, c1, c2, c3)
-	if _, err := nodes[0].QuerySync(plan, func(tu *core.Tuple, _ int) {
+	if _, err := nodes[0].Query(plan, func(tu *core.Tuple, _ int) {
 		mu.Lock()
 		got = append(got, tu)
 		mu.Unlock()
@@ -206,10 +206,10 @@ func TestRealNetAdaptiveStrategyChoice(t *testing.T) {
 
 	tables := workload.Generate(workload.Config{STuples: 24, Seed: 9})
 	for i, r := range tables.R {
-		nodes[i%4].PublishSync("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, time.Minute)
+		nodes[i%4].Publish("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, time.Minute)
 	}
 	for i, s := range tables.S {
-		nodes[i%4].PublishSync("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, time.Minute)
+		nodes[i%4].Publish("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, time.Minute)
 	}
 
 	// Let the refresh loop publish, then warm the initiator's cache.
@@ -258,7 +258,7 @@ func TestRealNetAdaptiveStrategyChoice(t *testing.T) {
 
 	var mu sync.Mutex
 	rows := 0
-	id, err := nodes[0].QuerySync(plan, func(*core.Tuple, int) {
+	id, err := nodes[0].Query(plan, func(*core.Tuple, int) {
 		mu.Lock()
 		rows++
 		mu.Unlock()
@@ -266,7 +266,7 @@ func TestRealNetAdaptiveStrategyChoice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer nodes[0].Do(func() { nodes[0].Cancel(id) })
+	defer nodes[0].Cancel(id)
 
 	if plan.Strategy != FetchMatches {
 		t.Fatalf("warm catalog chose %v over TCP, want fetch matches", plan.Strategy)

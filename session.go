@@ -1,0 +1,76 @@
+package pier
+
+import (
+	"time"
+
+	"pier/internal/env"
+)
+
+// Session is the unified public surface of one PIER participant,
+// implemented by both *Node (inside the discrete-event simulator) and
+// *RealNode (over TCP). Application code — the admin plane, the
+// pier-node daemon, examples, and tests — programs against Session and
+// runs unchanged in either environment, extending the paper's "same
+// code base" story (§5.2) from the node stack up through the embedding
+// application.
+//
+// Threading: *Node methods must run on the node's event goroutine (for
+// simulations, between Run calls); *RealNode implements every method by
+// marshalling onto its event loop, so Session calls on a real node are
+// safe from any goroutine. Callbacks (ResultFunc, LookupTable's cb,
+// QuerySQL's done) are always invoked on the event loop — never block
+// in them; hand results to channels instead.
+type Session interface {
+	// Addr returns the node's address.
+	Addr() env.Addr
+
+	// Publish stores a tuple in the DHT under (table, resourceID) with
+	// the given lifetime. See Node.Publish.
+	Publish(table, resourceID string, instanceID int64, t *Tuple, lifetime time.Duration)
+
+	// Renew refreshes a previously published tuple's lifetime. See
+	// Node.Renew.
+	Renew(table, resourceID string, instanceID int64, t *Tuple, lifetime time.Duration)
+
+	// Query validates and disseminates a plan, streaming result tuples
+	// into fn; it returns the query id for Cancel. See Node.Query.
+	Query(p *Plan, fn ResultFunc) (uint64, error)
+
+	// QuerySQL plans src against schemas fetched from the DHT catalog
+	// and runs it. See Node.QuerySQL.
+	QuerySQL(src string, tables []string, fn ResultFunc, done func(id uint64, err error))
+
+	// Exec runs a DDL statement (CREATE INDEX) against the deployment.
+	// See Node.Exec.
+	Exec(src string, cat Catalog) error
+
+	// RegisterTable publishes a table schema into the DHT catalog. See
+	// Node.RegisterTable.
+	RegisterTable(t SQLTable, lifetime time.Duration)
+
+	// LookupTable resolves a table schema from the DHT catalog; cb
+	// receives nil if the schema is unknown. See Node.LookupTable.
+	LookupTable(name string, cb func(*SQLTable))
+
+	// Cancel stops result delivery for a query started on this node,
+	// reporting whether a live query with that id existed here.
+	Cancel(id uint64) bool
+
+	// Leave departs the overlay gracefully, handing soft state to a
+	// peer. See Node.Leave.
+	Leave()
+
+	// Snapshot aggregates the node's observable state — identity,
+	// routing, soft state, indexes, and every counter family — into
+	// one serializable struct. See Node.Snapshot.
+	Snapshot() Snapshot
+
+	// LiveQueries lists the queries currently alive on this node.
+	LiveQueries() []QueryInfo
+}
+
+// Both node flavors satisfy the shared surface.
+var (
+	_ Session = (*Node)(nil)
+	_ Session = (*RealNode)(nil)
+)

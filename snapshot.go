@@ -1,0 +1,81 @@
+package pier
+
+import (
+	"pier/internal/admin"
+	"pier/internal/core"
+)
+
+// Re-exported operational-state types. Snapshot is the one serializable
+// struct behind the admin plane's GET /api/status, the /metrics
+// exporter, and the pier-node shell's info/stats commands; QueryInfo
+// describes one live query.
+type (
+	// Snapshot aggregates one node's observable state (see
+	// Node.Snapshot).
+	Snapshot = admin.Snapshot
+	// NamespaceCount is one namespace's soft-state summary inside a
+	// Snapshot.
+	NamespaceCount = admin.NamespaceCount
+	// IndexInfo describes one PHT index definition inside a Snapshot.
+	IndexInfo = admin.IndexInfo
+	// QueryChannelStats is the Snapshot form of the engine's
+	// result-channel counters (QueryStats with JSON names).
+	QueryChannelStats = admin.QueryChannelStats
+	// QueryInfo describes one query alive on a node (see
+	// Node.LiveQueries).
+	QueryInfo = core.QueryInfo
+)
+
+// Snapshot aggregates this node's observable state into one
+// serializable struct: identity and uptime, routing (readiness,
+// neighbors, the statistics catalog's overlay estimates), soft state
+// per namespace, index definitions and reader counters, live-query
+// gauges, and the engine and transport counter families. It replaces
+// ad-hoc walks over Router()/Provider()/Stats()/QueryStats()/
+// TransportStats() with a single consistent read; the admin plane and
+// the daemon shell both serve exactly this struct.
+func (n *Node) Snapshot() Snapshot {
+	now := n.env.Now()
+	snap := Snapshot{
+		Addr:          string(n.env.Addr()),
+		StartedAt:     n.started,
+		UptimeSeconds: now.Sub(n.started).Seconds(),
+		Ready:         n.router.Ready(),
+	}
+	for _, a := range n.router.Neighbors() {
+		snap.Neighbors = append(snap.Neighbors, string(a))
+	}
+	net := n.stats.NetStats()
+	snap.OverlayNodes = net.Nodes
+	snap.HopLatencyMS = float64(net.HopLatency.Microseconds()) / 1e3
+	snap.LookupHops = net.LookupHops
+	store := n.provider.Store()
+	for _, ns := range store.Namespaces() {
+		snap.SoftState = append(snap.SoftState, NamespaceCount{Namespace: ns, Items: store.Len(ns)})
+	}
+	snap.StoredItems = store.TotalLen()
+	for _, d := range n.indexes.AllDefs() {
+		snap.Indexes = append(snap.Indexes, IndexInfo{Name: d.Name, Table: d.Table, Col: d.Col})
+	}
+	snap.IndexScans, snap.IndexVisits = n.indexes.Stats()
+	snap.CachedStatsTables = len(n.stats.CachedTables())
+	snap.ActiveExecs = n.engine.ActiveExecs()
+	snap.OpenCollectors = n.engine.OpenCollectors()
+	qs := n.engine.QueryStats()
+	snap.Query = QueryChannelStats{
+		ResultBatches:  qs.ResultBatches,
+		ResultTuples:   qs.ResultTuples,
+		CreditGrants:   qs.CreditGrants,
+		CreditStalls:   qs.CreditStalls,
+		BloomFallbacks: qs.BloomFallbacks,
+	}
+	if ls, ok := n.TransportStats(); ok {
+		snap.Transport = &ls
+	}
+	return snap
+}
+
+// LiveQueries lists the queries currently alive on this node — one
+// entry per id, merging this node's collector (initiator) and executor
+// roles — sorted by id.
+func (n *Node) LiveQueries() []QueryInfo { return n.engine.LiveQueries() }
