@@ -81,19 +81,29 @@ func (b *adminBackend) lookupTable(name string) (*SQLTable, error) {
 	}
 }
 
-func (b *adminBackend) RunSQL(src string, each func(admin.Row)) (uint64, bool, error) {
+func (b *adminBackend) RunSQL(src string, each func(admin.Row)) (uint64, admin.SQLKind, error) {
 	st, err := sql.ParseStatement(src)
 	if err != nil {
-		return 0, false, err
+		return 0, admin.SQLDDL, err
 	}
-	if ci, ok := st.(*sql.CreateIndexStmt); ok {
-		t, err := b.lookupTable(ci.Table)
+	var sel *sql.Stmt
+	kind := admin.SQLQuery
+	switch s := st.(type) {
+	case *sql.CreateIndexStmt:
+		t, err := b.lookupTable(s.Table)
 		if err != nil {
-			return 0, false, err
+			return 0, admin.SQLDDL, err
 		}
-		return 0, false, b.s.Exec(src, Catalog{ci.Table: *t})
+		return 0, admin.SQLDDL, b.s.Exec(src, Catalog{s.Table: *t})
+	case *sql.ExplainStmt:
+		// QuerySQL re-plans the full src; sql.Plan forces Trace on for
+		// the EXPLAIN TRACE form, so the query runs traced.
+		sel, kind = s.Select, admin.SQLExplain
+	case *sql.Stmt:
+		sel = s
+	default:
+		return 0, admin.SQLDDL, fmt.Errorf("unsupported statement")
 	}
-	sel := st.(*sql.Stmt)
 	var tables []string
 	for _, ti := range sel.From {
 		tables = append(tables, ti.Name)
@@ -114,10 +124,37 @@ func (b *adminBackend) RunSQL(src string, each func(admin.Row)) (uint64, bool, e
 	})
 	select {
 	case o := <-done:
-		return o.id, o.err == nil, o.err
+		return o.id, kind, o.err
 	case <-time.After(catalogWait):
-		return 0, false, fmt.Errorf("query planning timed out: %w", admin.ErrUnavailable)
+		return 0, kind, fmt.Errorf("query planning timed out: %w", admin.ErrUnavailable)
 	}
+}
+
+// Trace adapts the Session's trace surface to the admin DTOs.
+func (b *adminBackend) Trace(id uint64) (admin.QueryTrace, bool) {
+	tr, ok := b.s.Trace(id)
+	if !ok {
+		return admin.QueryTrace{}, false
+	}
+	out := admin.QueryTrace{
+		ID:       tr.QueryID,
+		Root:     string(tr.Root),
+		Started:  tr.Started,
+		Finished: tr.Finished,
+		Drops:    tr.Drops,
+		Rendered: tr.RenderString(),
+	}
+	for _, s := range tr.Spans {
+		out.Spans = append(out.Spans, admin.TraceSpan{
+			Stage: s.Stage.String(),
+			Node:  string(s.Node),
+			Start: s.Start,
+			DurNS: int64(s.Dur),
+			Note:  s.Note,
+			Seq:   s.Seq,
+		})
+	}
+	return out, true
 }
 
 func (b *adminBackend) RegisterTable(name, key string, cols []string) error {

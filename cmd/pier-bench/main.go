@@ -12,9 +12,15 @@
 // non-zero if any invariant fails, so CI can gate on it; -seed replays
 // a different schedule.
 //
+// -baseline FILE compares this run's records against a committed
+// BENCH_*.json snapshot and exits non-zero on a >25% regression in any
+// deterministic metric (traffic bytes, result frames/tuples, nodes
+// contacted, recall) — the bench-smoke CI gate. -trace runs one traced
+// join and prints its EXPLAIN TRACE span tree.
+//
 // Usage:
 //
-//	pier-bench [-full] [-only adaptive,chaos,fig3,table4,...] [-json out.json] [-seed N]
+//	pier-bench [-full] [-only adaptive,chaos,fig3,table4,...] [-json out.json] [-baseline BENCH_0.json] [-trace] [-seed N]
 package main
 
 import (
@@ -32,6 +38,10 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: adaptive,incast,range,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,rangechaos,churn run only when named here")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
 	seed := flag.Int64("seed", 1, "seed for the chaos scenario (replays the exact fault schedule)")
+	baselinePath := flag.String("baseline", "",
+		"BENCH_*.json baseline; exit non-zero on >25% regression in deterministic metrics")
+	traceDemo := flag.Bool("trace", false,
+		"run one traced simulated join and print its EXPLAIN TRACE span tree")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -54,6 +64,16 @@ func main() {
 
 	var records []experiments.BenchRecord
 	chaosFailed := false
+
+	if *traceDemo {
+		fmt.Println("\n### Distributed query trace — EXPLAIN TRACE over a simulated join")
+		out, err := experiments.TraceDemo(*seed, *full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pier-bench: trace demo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	}
 
 	// The chaos scenarios run only when explicitly selected (-only
 	// chaos,churn): they are invariant gates with an exit-1 path, not
@@ -153,6 +173,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d benchmark records to %s\n", len(records), *jsonPath)
+	}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pier-bench: %v\n", err)
+			os.Exit(1)
+		}
+		base, err := experiments.ReadBenchJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pier-bench: reading %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		regs, compared := experiments.CompareBaseline(base, records, 0.25)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "pier-bench: regression:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("baseline %s: %d record(s) compared, all within the 25%% budget\n", *baselinePath, compared)
 	}
 	if chaosFailed {
 		fmt.Fprintln(os.Stderr, "pier-bench: chaos invariants failed")

@@ -23,10 +23,20 @@
 //	table <name> <keycol> <col> [col...]   register a schema
 //	publish <table> <val> [val...]         publish a tuple (key = first col)
 //	sql <SELECT ...>                       run a query, print results
+//	sql EXPLAIN TRACE <SELECT ...>         run it traced, print the span tree
 //	sql CREATE INDEX <n> ON <t> (<col>)    build a PHT range index
 //	stats [table]                          node counters (the /api/status struct)
 //	info                                   node status (same struct)
 //	quit
+//
+// Daemon lifecycle events go to stderr as structured logs (log/slog);
+// -log-format json switches them from logfmt-style text to JSON lines,
+// with query ids carried as attributes. Shell output stays on stdout.
+//
+// -debug mounts net/http/pprof under /debug/pprof/ on the admin
+// listener. The admin plane is unauthenticated; pprof exposes heap and
+// goroutine internals, so the flag is off by default and should stay
+// off unless the admin address is loopback or otherwise trusted.
 package main
 
 import (
@@ -36,7 +46,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -62,6 +74,8 @@ type config struct {
 	StatsInterval time.Duration
 	JoinTimeout   time.Duration
 	DrainTimeout  time.Duration
+	LogFormat     string
+	Debug         bool
 }
 
 func defaultConfig() config {
@@ -72,6 +86,7 @@ func defaultConfig() config {
 		StatsInterval: 10 * time.Second,
 		JoinTimeout:   15 * time.Second,
 		DrainTimeout:  10 * time.Second,
+		LogFormat:     "text",
 	}
 }
 
@@ -86,6 +101,8 @@ type fileConfig struct {
 	StatsInterval *string `json:"stats_interval"`
 	JoinTimeout   *string `json:"join_timeout"`
 	DrainTimeout  *string `json:"drain_timeout"`
+	LogFormat     *string `json:"log_format"`
+	Debug         *bool   `json:"debug"`
 }
 
 func loadConfigFile(path string, cfg *config) error {
@@ -118,6 +135,10 @@ func loadConfigFile(path string, cfg *config) error {
 	setStr(&cfg.Listen, fc.Listen)
 	setStr(&cfg.Join, fc.Join)
 	setStr(&cfg.Admin, fc.Admin)
+	setStr(&cfg.LogFormat, fc.LogFormat)
+	if fc.Debug != nil {
+		cfg.Debug = *fc.Debug
+	}
 	for _, f := range []struct {
 		dst   *time.Duration
 		src   *string
@@ -150,6 +171,9 @@ func main() {
 	joinTimeout := flag.Duration("join-timeout", def.JoinTimeout, "how long to wait for the overlay join")
 	drainTimeout := flag.Duration("drain-timeout", def.DrainTimeout,
 		"how long graceful shutdown waits for in-flight admin requests")
+	logFormat := flag.String("log-format", def.LogFormat, "daemon log format: text or json")
+	debug := flag.Bool("debug", def.Debug,
+		"mount net/http/pprof on the admin listener (unauthenticated; off by default)")
 	flag.Parse()
 
 	cfg := def
@@ -178,35 +202,47 @@ func main() {
 			cfg.JoinTimeout = *joinTimeout
 		case "drain-timeout":
 			cfg.DrainTimeout = *drainTimeout
+		case "log-format":
+			cfg.LogFormat = *logFormat
+		case "debug":
+			cfg.Debug = *debug
 		}
 	})
+
+	var handler slog.Handler
+	switch cfg.LogFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "config: log format %q is not text or json\n", cfg.LogFormat)
+		os.Exit(1)
+	}
+	logger := slog.New(handler)
 
 	opts := pier.DefaultOptions()
 	opts.Stats.Interval = cfg.StatsInterval
 	node, err := pier.StartNode(cfg.Listen, env.Addr(cfg.Join), time.Now().UnixNano(), opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "start:", err)
+		logger.Error("node start failed", "err", err)
 		os.Exit(1)
 	}
 	if cfg.Join != "" {
 		if err := node.WaitJoin(cfg.JoinTimeout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("overlay join failed", "err", err)
 			node.Close()
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("pier-node: up at %s", node.Addr())
-	if cfg.Join != "" {
-		fmt.Printf(" (joined via %s)", cfg.Join)
-	}
-	fmt.Println()
+	logger.Info("node up", "addr", string(node.Addr()), "join", cfg.Join)
 
 	var adminSrv *http.Server
 	adminErr := make(chan error, 1)
 	if cfg.Admin != "" {
-		adminSrv = &http.Server{Addr: cfg.Admin, Handler: pier.AdminHandler(node)}
+		adminSrv = &http.Server{Addr: cfg.Admin, Handler: adminMux(node, cfg.Debug)}
 		go func() {
-			fmt.Printf("pier-node: admin plane at http://%s\n", cfg.Admin)
+			logger.Info("admin plane listening", "url", "http://"+cfg.Admin, "pprof", cfg.Debug)
 			if err := adminSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 				adminErr <- err
 			}
@@ -226,22 +262,41 @@ func main() {
 
 	select {
 	case sig := <-sigs:
-		fmt.Printf("pier-node: %v, shutting down\n", sig)
+		logger.Info("signal received, shutting down", "signal", sig.String())
 	case <-shellDone:
-		fmt.Println("pier-node: shell exited, shutting down")
+		logger.Info("shell exited, shutting down")
 	case err := <-adminErr:
-		fmt.Fprintln(os.Stderr, "admin:", err)
+		logger.Error("admin server failed", "err", err)
 		node.Close()
 		os.Exit(1)
 	}
-	shutdown(node, adminSrv, cfg.DrainTimeout)
+	shutdown(node, adminSrv, cfg.DrainTimeout, logger)
+}
+
+// adminMux wraps the admin plane, optionally mounting net/http/pprof
+// under /debug/pprof/ when -debug is set. The pprof handlers are
+// registered explicitly (not via the package's init side effect on
+// http.DefaultServeMux) so a non-debug daemon exposes nothing.
+func adminMux(node *pier.RealNode, debug bool) http.Handler {
+	api := pier.AdminHandler(node)
+	if !debug {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
 }
 
 // shutdown drains the node gracefully: stop accepting admin requests
 // and let in-flight query streams finish, cancel the queries still
 // live on this node, hand the zone and soft state to a peer with
 // Leave, and close the transport.
-func shutdown(node *pier.RealNode, adminSrv *http.Server, drain time.Duration) {
+func shutdown(node *pier.RealNode, adminSrv *http.Server, drain time.Duration, logger *slog.Logger) {
 	if adminSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		if err := adminSrv.Shutdown(ctx); err != nil {
@@ -252,16 +307,17 @@ func shutdown(node *pier.RealNode, adminSrv *http.Server, drain time.Duration) {
 	cancelled := 0
 	for _, q := range node.LiveQueries() {
 		if q.Initiator && node.Cancel(q.ID) {
+			logger.Info("cancelled live query", "query_id", q.ID)
 			cancelled++
 		}
 	}
-	fmt.Printf("pier-node: drained %d live queries\n", cancelled)
+	logger.Info("drained live queries", "cancelled", cancelled)
 	node.Leave()
 	// Leave queues zone-transfer puts to a peer; give the writer
 	// goroutines a moment to flush before the sockets close.
 	time.Sleep(200 * time.Millisecond)
 	node.Close()
-	fmt.Println("pier-node: left overlay, shutdown complete")
+	logger.Info("left overlay, shutdown complete")
 }
 
 // runShell is the interactive operator console; it returns on EOF or
@@ -391,6 +447,7 @@ func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duratio
 		fmt.Println("index created")
 		return
 	}
+	_, explain := st.(*sql.ExplainStmt)
 	plan, err := pier.ParseSQL(src, cat)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -426,6 +483,15 @@ func runSQL(node *pier.RealNode, cat pier.Catalog, src string, wait time.Duratio
 		case <-deadline:
 			node.Cancel(id)
 			fmt.Printf("(%d rows)\n", n)
+			if explain {
+				// Cancel closed the collector and retained the finished
+				// trace; print the assembled span tree.
+				if tr, ok := node.Trace(id); ok {
+					fmt.Print(tr.RenderString())
+				} else {
+					fmt.Println("(no trace retained)")
+				}
+			}
 			return
 		}
 	}

@@ -27,14 +27,23 @@ type Backend interface {
 
 	// RunSQL runs one SQL statement against the deployment's DHT
 	// catalog. DDL (CREATE INDEX) completes before returning, with
-	// isQuery false. For SELECT, isQuery is true, id is the live query
+	// kind SQLDDL. For SELECT, kind is SQLQuery, id is the live query
 	// id, and result rows stream into each — called on the node's
-	// event loop, so it must never block — until Cancel(id).
-	RunSQL(src string, each func(Row)) (id uint64, isQuery bool, err error)
+	// event loop, so it must never block — until Cancel(id). EXPLAIN
+	// TRACE runs the inner SELECT with tracing forced on and reports
+	// SQLExplain; the handler collects rows, cancels, then fetches the
+	// assembled trace via Trace.
+	RunSQL(src string, each func(Row)) (id uint64, kind SQLKind, err error)
 
 	// Cancel stops a query initiated on this node, reporting whether
 	// it was found.
 	Cancel(id uint64) bool
+
+	// Trace returns the distributed trace of a query initiated on this
+	// node: live (partial) while the query runs, retained for a while
+	// after it closes. ok is false when the query is unknown, untraced,
+	// or evicted.
+	Trace(id uint64) (tr QueryTrace, ok bool)
 
 	// RegisterTable publishes a table schema into the DHT catalog.
 	RegisterTable(name, key string, cols []string) error
@@ -47,6 +56,20 @@ type Backend interface {
 	// peer).
 	Leave()
 }
+
+// SQLKind classifies what RunSQL did with a statement.
+type SQLKind int
+
+// Statement kinds.
+const (
+	// SQLDDL is a synchronous definition statement (CREATE INDEX).
+	SQLDDL SQLKind = iota
+	// SQLQuery is a live SELECT streaming rows until cancelled.
+	SQLQuery
+	// SQLExplain is an EXPLAIN TRACE: a live SELECT with tracing
+	// forced on, answered with the assembled trace instead of rows.
+	SQLExplain
+)
 
 // ErrUnavailable marks a Backend error caused by the deployment being
 // unreachable (a catalog lookup that timed out, a node mid-shutdown)
@@ -105,6 +128,7 @@ func NewWithLimits(b Backend, lim Limits) *Server {
 	s.mux.HandleFunc("GET /api/queries", s.handleQueries)
 	s.mux.HandleFunc("POST /api/queries", s.handleRunQuery)
 	s.mux.HandleFunc("DELETE /api/queries/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/queries/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /api/tables", s.handleRegisterTable)
 	s.mux.HandleFunc("POST /api/publish", s.handlePublish)
 	s.mux.HandleFunc("POST /api/leave", s.handleLeave)
@@ -227,6 +251,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"cancelled": strconv.FormatUint(id, 10)})
 }
 
+// handleTrace serves the assembled distributed trace of a query
+// initiated on this node (live or recently closed).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query id must be a decimal uint64: %q", r.PathValue("id"))
+		return
+	}
+	tr, ok := s.b.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace for query %d on this node (untraced, unknown, or evicted)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
 // runQueryRequest is the POST /api/queries body.
 type runQueryRequest struct {
 	// SQL is the statement: a SELECT (results stream back as NDJSON)
@@ -290,13 +330,17 @@ func (s *Server) handleRunQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	id, isQuery, err := s.b.RunSQL(req.SQL, each)
+	id, kind, err := s.b.RunSQL(req.SQL, each)
 	if err != nil {
 		writeError(w, backendStatus(err), "%v", err)
 		return
 	}
-	if !isQuery {
+	if kind == SQLDDL {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "ddl": true})
+		return
+	}
+	if kind == SQLExplain {
+		s.answerExplain(w, r, id, wait, rows, droppedCh)
 		return
 	}
 	defer s.b.Cancel(id)
@@ -351,6 +395,36 @@ stream:
 			return
 		}
 	}
+}
+
+// answerExplain finishes an EXPLAIN TRACE request: let the traced
+// query run for the wait window (counting but not streaming its rows),
+// cancel it — which closes the collector and retains the complete
+// trace — then answer with the assembled trace as one JSON document.
+func (s *Server) answerExplain(w http.ResponseWriter, r *http.Request, id uint64, wait time.Duration, rows chan Row, droppedCh chan struct{}) {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	n := 0
+collect:
+	for {
+		select {
+		case <-rows:
+			n++
+		case <-droppedCh:
+		case <-deadline.C:
+			break collect
+		case <-r.Context().Done():
+			s.b.Cancel(id)
+			return
+		}
+	}
+	s.b.Cancel(id)
+	tr, ok := s.b.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "query %d left no trace", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rows": n, "trace": tr})
 }
 
 // registerTableRequest is the POST /api/tables body.

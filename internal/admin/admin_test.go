@@ -30,6 +30,7 @@ type fakeBackend struct {
 	sqlErr    error
 	left      bool
 	published []string
+	trace     *QueryTrace
 }
 
 func newFakeBackend() *fakeBackend {
@@ -75,19 +76,32 @@ func (f *fakeBackend) Queries() []QueryInfo {
 	return append([]QueryInfo(nil), f.queries...)
 }
 
-func (f *fakeBackend) RunSQL(src string, each func(Row)) (uint64, bool, error) {
+func (f *fakeBackend) RunSQL(src string, each func(Row)) (uint64, SQLKind, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.sqlErr != nil {
-		return 0, false, f.sqlErr
+		return 0, SQLDDL, f.sqlErr
 	}
-	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(src)), "CREATE") {
-		return 0, false, nil
+	up := strings.ToUpper(strings.TrimSpace(src))
+	if strings.HasPrefix(up, "CREATE") {
+		return 0, SQLDDL, nil
 	}
 	for _, r := range f.rows {
 		each(r)
 	}
-	return 42, true, nil
+	if strings.HasPrefix(up, "EXPLAIN") {
+		return 43, SQLExplain, nil
+	}
+	return 42, SQLQuery, nil
+}
+
+func (f *fakeBackend) Trace(id uint64) (QueryTrace, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.trace == nil || f.trace.ID != id {
+		return QueryTrace{}, false
+	}
+	return *f.trace, true
 }
 
 func (f *fakeBackend) Cancel(id uint64) bool {
@@ -421,6 +435,87 @@ func TestLeave(t *testing.T) {
 	}
 }
 
+func sampleTrace() *QueryTrace {
+	return &QueryTrace{
+		ID:       43,
+		Root:     "127.0.0.1:7001",
+		Started:  1000,
+		Finished: 9000,
+		Spans: []TraceSpan{
+			{Stage: "collect", Node: "127.0.0.1:7001", Start: 1000, DurNS: 8000},
+			{Stage: "multicast", Node: "127.0.0.1:7002", Start: 2000, Note: "query arrived: R"},
+			{Stage: "result_flush", Node: "127.0.0.1:7002", Start: 5000, DurNS: 100, Seq: 1},
+		},
+		Rendered: "trace query=2b ...",
+	}
+}
+
+// TestTraceEndpoint: GET /api/queries/{id}/trace serves the assembled
+// trace for a traced query and proper 4xx for everything else.
+func TestTraceEndpoint(t *testing.T) {
+	f := newFakeBackend()
+	f.trace = sampleTrace()
+	srv := newTestServer(t, f)
+
+	var got QueryTrace
+	resp := getJSON(t, srv.URL+"/api/queries/43/trace", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	if got.ID != 43 || len(got.Spans) != 3 || got.Spans[1].Stage != "multicast" {
+		t.Fatalf("trace mismatch: %+v", got)
+	}
+	if resp := getJSON(t, srv.URL+"/api/queries/41/trace", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/api/queries/zebra/trace", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestExplainTraceAnswersTrace: an EXPLAIN TRACE statement answers one
+// JSON document carrying the trace (not an NDJSON row stream), and the
+// handler cancels the query before fetching it so the retained trace
+// is complete.
+func TestExplainTraceAnswersTrace(t *testing.T) {
+	f := newFakeBackend()
+	f.rows = []Row{{Values: []any{"a"}}, {Values: []any{"b"}}}
+	f.trace = sampleTrace()
+	f.liveIDs[43] = true
+	srv := newTestServer(t, f)
+
+	resp, err := http.Post(srv.URL+"/api/queries", "application/json",
+		strings.NewReader(`{"sql":"EXPLAIN TRACE SELECT x FROM T","wait_ms":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q, want plain JSON", ct)
+	}
+	var out struct {
+		Rows  int        `json:"rows"`
+		Trace QueryTrace `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 2 || out.Trace.ID != 43 || len(out.Trace.Spans) != 3 {
+		t.Fatalf("explain answer: %+v", out)
+	}
+	if out.Trace.Rendered == "" {
+		t.Fatal("explain answer lost the rendered text")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.cancelled) == 0 || f.cancelled[len(f.cancelled)-1] != 43 {
+		t.Fatalf("explain did not cancel the traced query: %v", f.cancelled)
+	}
+}
+
 // parseMetrics reads an exposition-format scrape into name→value
 // (labeled series keep their label string in the name).
 func parseMetrics(t *testing.T, body string) map[string]float64 {
@@ -506,6 +601,54 @@ func TestMetricsScrape(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)
 		}
+	}
+}
+
+// TestMetricsHistograms: histogram families must satisfy the
+// exposition-format invariants — cumulative le buckets, +Inf equal to
+// _count, one TYPE header per family even when stage-labeled entries
+// share a name.
+func TestMetricsHistograms(t *testing.T) {
+	f := newFakeBackend()
+	f.snap.Histograms = []HistogramData{
+		{Name: "pier_query_duration_seconds", Help: "End-to-end query duration.",
+			Bounds: []float64{0.01, 0.1, 1}, Counts: []uint64{2, 1, 0, 1}, Sum: 3.52, Count: 4},
+		{Name: "pier_trace_span_duration_seconds", Help: "Span durations by stage.", Stage: "multicast",
+			Bounds: []float64{0.01}, Counts: []uint64{3, 0}, Sum: 0.003, Count: 3},
+		{Name: "pier_trace_span_duration_seconds", Stage: "executor",
+			Bounds: []float64{0.01}, Counts: []uint64{1, 1}, Sum: 1.001, Count: 2},
+	}
+	var buf bytes.Buffer
+	WriteMetrics(&buf, f.Snapshot())
+	body := buf.String()
+	m := parseMetrics(t, body)
+
+	checks := map[string]float64{
+		`pier_query_duration_seconds_bucket{le="0.01"}`:                        2,
+		`pier_query_duration_seconds_bucket{le="0.1"}`:                         3,
+		`pier_query_duration_seconds_bucket{le="1"}`:                           3,
+		`pier_query_duration_seconds_bucket{le="+Inf"}`:                        4,
+		"pier_query_duration_seconds_sum":                                      3.52,
+		"pier_query_duration_seconds_count":                                    4,
+		`pier_trace_span_duration_seconds_bucket{stage="multicast",le="0.01"}`: 3,
+		`pier_trace_span_duration_seconds_bucket{stage="multicast",le="+Inf"}`: 3,
+		`pier_trace_span_duration_seconds_bucket{stage="executor",le="0.01"}`:  1,
+		`pier_trace_span_duration_seconds_bucket{stage="executor",le="+Inf"}`:  2,
+		`pier_trace_span_duration_seconds_count{stage="executor"}`:             2,
+	}
+	for series, want := range checks {
+		got, ok := m[series]
+		if !ok {
+			t.Errorf("scrape missing %s", series)
+		} else if got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	if got := strings.Count(body, "# TYPE pier_trace_span_duration_seconds histogram"); got != 1 {
+		t.Errorf("stage-labeled family emitted %d TYPE headers, want 1:\n%s", got, body)
+	}
+	if !strings.Contains(body, "# TYPE pier_query_duration_seconds histogram") {
+		t.Error("query duration family not TYPEd histogram")
 	}
 }
 

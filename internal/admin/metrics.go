@@ -3,6 +3,7 @@ package admin
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -45,6 +46,8 @@ func WriteMetrics(w io.Writer, s Snapshot) {
 	m.counter("pier_query_credit_stalls_total", "Executor flushes stalled on an exhausted credit window.", float64(s.Query.CreditStalls))
 	m.counter("pier_query_bloom_fallbacks_total", "Bloom-join combines degraded by mismatched filter geometry.", float64(s.Query.BloomFallbacks))
 
+	m.histograms(s.Histograms)
+
 	if s.Transport != nil {
 		t := s.Transport
 		m.counter("pier_transport_frames_sent_total", "Messages handed to the socket layer.", float64(t.FramesSent))
@@ -77,6 +80,50 @@ func (m *metricsWriter) gauge(name, help string, v float64) {
 func (m *metricsWriter) counter(name, help string, v float64) {
 	m.typ(name, help, "counter")
 	m.sample(name, v)
+}
+
+// histograms renders HistogramData entries as Prometheus histogram
+// families: cumulative le buckets, a +Inf bucket equal to _count, and
+// _sum/_count series. Adjacent entries sharing a Name become one
+// family whose series differ by the stage label.
+func (m *metricsWriter) histograms(hs []HistogramData) {
+	for i := 0; i < len(hs); {
+		j := i + 1
+		for j < len(hs) && hs[j].Name == hs[i].Name {
+			j++
+		}
+		m.typ(hs[i].Name, hs[i].Help, "histogram")
+		for _, h := range hs[i:j] {
+			stage := ""
+			if h.Stage != "" {
+				stage = fmt.Sprintf(`stage="%s",`, escapeLabel(h.Stage))
+			}
+			var cum uint64
+			for k, bound := range h.Bounds {
+				if k < len(h.Counts) {
+					cum += h.Counts[k]
+				}
+				m.sample(fmt.Sprintf(`%s_bucket{%sle="%s"}`, h.Name, stage, formatBound(bound)), float64(cum))
+			}
+			// The +Inf bucket is the total by definition; using Count
+			// (not cum + overflow) keeps the scrape consistent even if
+			// a snapshot arrives with mismatched bucket slices.
+			m.sample(fmt.Sprintf(`%s_bucket{%sle="+Inf"}`, h.Name, stage), float64(h.Count))
+			suffix := ""
+			if h.Stage != "" {
+				suffix = fmt.Sprintf(`{stage="%s"}`, escapeLabel(h.Stage))
+			}
+			m.sample(h.Name+"_sum"+suffix, h.Sum)
+			m.sample(h.Name+"_count"+suffix, float64(h.Count))
+		}
+		i = j
+	}
+}
+
+// formatBound prints a bucket bound the way Prometheus clients expect
+// (shortest float form, no stray exponent for typical bounds).
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // formatValue prints integral values without an exponent so scrapes

@@ -66,9 +66,73 @@ type Snapshot struct {
 	// Query is the engine's monotone result-channel counter family.
 	Query QueryChannelStats `json:"query_channel"`
 
+	// Histograms are the node's latency distributions (query duration,
+	// result-flush latency, per-stage span durations), exported on
+	// /metrics as Prometheus histogram families. Entries sharing a Name
+	// must be adjacent: they render as one family distinguished by the
+	// Stage label.
+	Histograms []HistogramData `json:"histograms,omitempty"`
+
 	// Transport is the TCP link counter family; nil on environments
 	// without real links (the simulator).
 	Transport *env.LinkStats `json:"transport,omitempty"`
+}
+
+// HistogramData is one latency histogram in snapshot form: per-bucket
+// (non-cumulative) counts over the upper Bounds, plus an implicit
+// overflow bucket. The /metrics exporter derives the cumulative le
+// series, _sum, and _count from it.
+type HistogramData struct {
+	// Name and Help are the Prometheus family name and description.
+	Name string `json:"name"`
+	Help string `json:"help"`
+	// Stage is the optional stage label value ("" renders unlabeled).
+	Stage string `json:"stage,omitempty"`
+	// Bounds are the inclusive bucket upper bounds in seconds; Counts
+	// has len(Bounds)+1 entries, the last counting observations above
+	// every bound.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	// Sum and Count aggregate all observations.
+	Sum   float64 `json:"sum"`
+	Count uint64  `json:"count"`
+}
+
+// TraceSpan is the REST form of one recorded span event.
+type TraceSpan struct {
+	// Stage names the instrumented pipeline stage (multicast, executor,
+	// result_flush, ...).
+	Stage string `json:"stage"`
+	// Node is the address of the node that recorded the span.
+	Node string `json:"node"`
+	// Start is the span's start in UnixNano of the deployment clock
+	// (virtual time on simulated nodes); DurNS is its length.
+	Start int64 `json:"start_unix_nano"`
+	DurNS int64 `json:"duration_ns"`
+	// Note is a short human-readable annotation.
+	Note string `json:"note,omitempty"`
+	// Seq orders spans recorded by the same node at the same instant.
+	Seq uint32 `json:"seq"`
+}
+
+// QueryTrace is the REST form of an assembled distributed query trace,
+// served by GET /api/queries/{id}/trace and the EXPLAIN TRACE answer.
+type QueryTrace struct {
+	// ID serializes as a decimal string like QueryInfo.ID.
+	ID uint64 `json:"id,string"`
+	// Root is the initiator's address.
+	Root string `json:"root"`
+	// Started/Finished bound the query in UnixNano of the deployment
+	// clock; Finished is 0 while the query is still live.
+	Started  int64 `json:"started_unix_nano"`
+	Finished int64 `json:"finished_unix_nano"`
+	// Spans are the collected span events in causal order.
+	Spans []TraceSpan `json:"spans"`
+	// Drops counts spans lost to bounded buffers.
+	Drops uint64 `json:"dropped_spans"`
+	// Rendered is the human-readable trace tree (the EXPLAIN TRACE
+	// text), so curl users need no client-side formatter.
+	Rendered string `json:"rendered"`
 }
 
 // NamespaceCount is one namespace's soft-state summary.

@@ -109,6 +109,16 @@ type Config struct {
 	// scenarios; zero follows StatsInterval (or 30s when that is off).
 	IndexInterval time.Duration
 
+	// TraceQueries forces distributed tracing on every generated
+	// query, so span recording, piggybacked delivery, and trace
+	// assembly run under the same faults as the queries themselves.
+	// Combined with VerifyReplay it proves tracing never perturbs the
+	// deterministic schedule (a forced Plan.Trace draws no sampling
+	// randomness), and an extra invariant requires every accepted
+	// query to leave a finished, non-empty retained trace on the
+	// driver.
+	TraceQueries bool
+
 	// VerifyReplay re-runs the faulted scenario and asserts the trace
 	// fingerprint is identical — the determinism invariant.
 	VerifyReplay bool
@@ -188,6 +198,7 @@ func DefaultRange(seed int64) Config {
 // queryOutcome records one executed query's results.
 type queryOutcome struct {
 	spec QuerySpec
+	id   uint64
 	keys map[string]bool
 	err  error
 }
@@ -284,6 +295,12 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 	opts.EngineConfig.ResultFlushInterval = 250 * time.Millisecond
 	opts.EngineConfig.ResultCredit = 6
 	opts.EngineConfig.CreditRefresh = 4 * time.Second
+	if cfg.TraceQueries {
+		// Pin the tracing geometry like the channel's, and retain one
+		// trace per generated query for the end-of-run invariant.
+		opts.EngineConfig.TraceBuf = 128
+		opts.EngineConfig.TraceRetain = cfg.Queries + 1
+	}
 	if cfg.StatsInterval > 0 {
 		opts.Stats.Interval = cfg.StatsInterval
 	}
@@ -367,8 +384,11 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 		spec := spec
 		out := queryOutcome{spec: spec, keys: map[string]bool{}}
 		plan := spec.Plan(cfg.STuples, cfg.QueryEvery)
+		if cfg.TraceQueries {
+			plan.Trace = true
+		}
 		id, err := dnode.Query(plan, func(t *core.Tuple, w int) { out.keys[spec.Key(t, w)] = true })
-		out.err = err
+		out.id, out.err = id, err
 		if err == nil && spec.CancelEarly {
 			sn.RunFor(cfg.QueryEvery / 2)
 			dnode.Cancel(id)
@@ -441,7 +461,40 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 		}
 	}
 	res.invariants = buildInvariants(sn, res, catalogInv)
+	if cfg.TraceQueries {
+		res.invariants = append(res.invariants, checkTraces(sn, res))
+	}
 	return res
+}
+
+// checkTraces asserts every accepted traced query left a finished,
+// non-empty retained trace on the driver once its collector closed —
+// cancel, TTL expiry, and churn included.
+func checkTraces(sn *pier.SimNetwork, res *scenarioResult) Invariant {
+	missing, empty, unfinished, spans := 0, 0, 0, 0
+	for _, q := range res.queries {
+		if q.err != nil {
+			continue
+		}
+		tr, ok := sn.Nodes[0].Trace(q.id)
+		if !ok {
+			missing++
+			continue
+		}
+		if len(tr.Spans) == 0 {
+			empty++
+		}
+		if tr.Finished == 0 {
+			unfinished++
+		}
+		spans += len(tr.Spans)
+	}
+	return Invariant{
+		Name: "traced-queries-leave-traces",
+		Pass: missing == 0 && empty == 0 && unfinished == 0,
+		Detail: fmt.Sprintf("%d spans across %d queries (%d missing, %d empty, %d unfinished)",
+			spans, len(res.queries), missing, empty, unfinished),
+	}
 }
 
 // execEvent applies one fault event to the running network.

@@ -126,6 +126,46 @@ func TestChaosPinnedSeed(t *testing.T) {
 	}
 }
 
+// TestChaosTracedPinnedSeed runs a pinned-seed loss/churn scenario
+// with distributed tracing forced on every query. All invariants must
+// hold — including bit-for-bit replay determinism, proving the tracing
+// path draws no extra randomness and shifts no schedules — plus the
+// tracing invariant: every accepted query leaves a finished, non-empty
+// retained trace on the driver.
+func TestChaosTracedPinnedSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run chaos scenario is slow")
+	}
+	cfg := Config{
+		Nodes:         48,
+		Seed:          5,
+		CrashesPerMin: 3,
+		GracefulFrac:  0.3,
+		LossBursts:    []LossBurst{{Start: 90 * time.Second, Duration: 30 * time.Second, Prob: 0.05}},
+		BaseLoss:      0.01,
+		STuples:       80,
+		Queries:       6,
+		QueryEvery:    45 * time.Second,
+		RecallFloor:   0.4,
+		TraceQueries:  true,
+		VerifyReplay:  true,
+	}
+	rep := Run(cfg)
+	rep.Print(os.Stderr)
+	for _, iv := range rep.Failed() {
+		t.Errorf("invariant %s failed: %s", iv.Name, iv.Detail)
+	}
+	found := false
+	for _, iv := range rep.Invariants {
+		if iv.Name == "traced-queries-leave-traces" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("traced scenario reported no tracing invariant")
+	}
+}
+
 // TestChaosChordSmoke runs a lighter scenario over the Chord overlay:
 // the harness must drive both DHTs.
 func TestChaosChordSmoke(t *testing.T) {

@@ -3,11 +3,13 @@ package core
 import (
 	"crypto/sha1"
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"time"
 
 	"pier/internal/dht/provider"
 	"pier/internal/env"
+	"pier/internal/trace"
 )
 
 // QueryNS is the namespace query-dissemination multicasts are tagged
@@ -50,6 +52,22 @@ type Config struct {
 	// its own so the channel throttles under loss instead of
 	// deadlocking. 0 picks the default (5s).
 	CreditRefresh time.Duration
+
+	// TraceSample is the probability that a query whose plan did not
+	// request tracing gets traced anyway (0 disables sampling; plans
+	// with Trace set are always traced). The sampling draw consumes
+	// the engine's RNG only when TraceSample > 0, so enabling the
+	// tracing subsystem without sampling perturbs nothing.
+	TraceSample float64
+	// TraceBuf bounds each traced executor's span buffer: once full,
+	// further spans are dropped and counted, so a result flood can
+	// never grow tracing state without bound. 0 picks the default
+	// (256).
+	TraceBuf int
+	// TraceRetain is how many finished traces an initiator retains
+	// for retrieval (EXPLAIN TRACE, the admin trace endpoint) after
+	// their queries close. 0 picks the default (16).
+	TraceRetain int
 }
 
 // DefaultConfig returns the engine defaults.
@@ -85,6 +103,11 @@ type QueryStats struct {
 	// saturated (accept-all) filter because a peer's filter arrived
 	// with mismatched geometry and could not be OR-ed.
 	BloomFallbacks uint64
+	// TraceSpans counts spans absorbed by collectors on this node;
+	// TraceSpanDrops counts spans reported lost to full buffers
+	// (executor-side or collector-side).
+	TraceSpans     uint64
+	TraceSpanDrops uint64
 }
 
 // ResultFunc receives one output tuple at the query initiator. window is
@@ -129,7 +152,21 @@ type collector struct {
 	// access path): nothing was multicast, so Cancel has nothing to
 	// tear down remotely.
 	local bool
+	// traced marks a query whose executors record trace spans; the
+	// collector accumulates them (bounded) as result frames arrive.
+	traced    bool
+	spans     []trace.Span
+	spanDrops uint64
+	spanSeq   uint32
+	// tuples totals the result tuples delivered, for the collect
+	// span's note.
+	tuples uint64
 }
+
+// collectorSpanCap bounds the spans one collector accumulates: with n
+// executors each bounded by TraceBuf, the initiator must still bound
+// its own memory against a large or hostile deployment.
+const collectorSpanCap = 4096
 
 // senderCredit is the collector's per-sender flow-control ledger.
 type senderCredit struct {
@@ -173,6 +210,19 @@ type Engine struct {
 	// executor that would then live to its TTL.
 	cancelled   map[uint64]bool
 	cancelOrder []uint64
+
+	// traces retains assembled traces of finished queries initiated
+	// here (bounded FIFO of cfg.TraceRetain).
+	traces     map[uint64]*trace.Trace
+	traceOrder []uint64
+
+	// Latency histograms, observed for every query (tracing not
+	// required): end-to-end query duration at collector close, result
+	// flush latency at the executors, and per-stage span durations as
+	// traced spans reach collectors.
+	hQueryDur *trace.Histogram
+	hFlushLat *trace.Histogram
+	hSpanDur  []*trace.Histogram
 }
 
 // cancelMemo bounds the remembered cancelled-id set.
@@ -202,6 +252,12 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 	if cfg.CreditRefresh <= 0 {
 		cfg.CreditRefresh = 5 * time.Second
 	}
+	if cfg.TraceBuf <= 0 {
+		cfg.TraceBuf = 256
+	}
+	if cfg.TraceRetain <= 0 {
+		cfg.TraceRetain = 16
+	}
 	h := sha1.Sum([]byte(e.Addr()))
 	eng := &Engine{
 		env:        e,
@@ -210,7 +266,14 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 		execs:      make(map[uint64]*exec),
 		collectors: make(map[uint64]*collector),
 		cancelled:  make(map[uint64]bool),
+		traces:     make(map[uint64]*trace.Trace),
 		nodeIID:    int64(binary.BigEndian.Uint64(h[:8]) >> 1),
+		hQueryDur:  trace.NewHistogram(nil),
+		hFlushLat:  trace.NewHistogram(nil),
+		hSpanDur:   make([]*trace.Histogram, trace.NumStages),
+	}
+	for i := range eng.hSpanDur {
+		eng.hSpanDur[i] = trace.NewHistogram(nil)
 	}
 	prov.OnMulticast(eng.onMulticast)
 	return eng
@@ -233,12 +296,21 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 		return 0, err
 	}
 	id := eng.env.Rand().Uint64()
+	// Sampling policy: an explicit Plan.Trace always traces; otherwise
+	// TraceSample decides probabilistically. The RNG is only consumed
+	// when sampling is actually configured, so deployments that never
+	// enable it keep their exact deterministic schedules.
+	traced := p.Trace
+	if !traced && eng.cfg.TraceSample > 0 {
+		traced = eng.env.Rand().Float64() < eng.cfg.TraceSample
+	}
 	c := &collector{
 		fn:     onResult,
 		plan:   p,
 		counts: make(map[int]int),
 		start:  eng.env.Now(),
 		credit: make(map[env.Addr]*senderCredit),
+		traced: traced,
 	}
 	eng.collectors[id] = c
 	// The distributed execution dies at the TTL; drop the collector (and
@@ -252,7 +324,7 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 		eng.runIndexQuery(id, p)
 		return id, nil
 	}
-	eng.prov.Multicast(QueryNS, &queryMsg{ID: id, Initiator: eng.env.Addr(), Plan: p})
+	eng.prov.Multicast(QueryNS, &queryMsg{ID: id, Initiator: eng.env.Addr(), Trace: traced, Plan: p})
 	return id, nil
 }
 
@@ -277,8 +349,9 @@ func (eng *Engine) Cancel(id uint64) bool {
 	return true
 }
 
-// closeCollector reports every still-open window to the observer and
-// forgets the query.
+// closeCollector reports every still-open window to the observer,
+// observes the query's end-to-end duration, retains the assembled
+// trace (traced queries), and forgets the query.
 func (eng *Engine) closeCollector(id uint64) {
 	c, ok := eng.collectors[id]
 	if !ok {
@@ -287,6 +360,119 @@ func (eng *Engine) closeCollector(id uint64) {
 	c.ttl.Stop()
 	delete(eng.collectors, id)
 	eng.reportWindows(c, c.maxW+1)
+	now := eng.env.Now()
+	eng.hQueryDur.Observe(now.Sub(c.start).Seconds())
+	if c.traced {
+		eng.recordCollectorSpan(c, trace.Span{
+			Stage: trace.StageCollect,
+			Start: c.start.UnixNano(),
+			Dur:   now.Sub(c.start),
+			Note:  fmt.Sprintf("%d tuples from %d senders", c.tuples, len(c.credit)),
+		})
+		eng.retainTrace(id, eng.assembleTrace(id, c, now.UnixNano()))
+	}
+}
+
+// assembleTrace builds the causally ordered trace of a traced query
+// from the collector's accumulated spans.
+func (eng *Engine) assembleTrace(id uint64, c *collector, finished int64) *trace.Trace {
+	tr := &trace.Trace{
+		QueryID:  id,
+		Root:     eng.env.Addr(),
+		Started:  c.start.UnixNano(),
+		Finished: finished,
+		Spans:    append([]trace.Span(nil), c.spans...),
+		Drops:    c.spanDrops,
+	}
+	tr.Sort()
+	return tr
+}
+
+// retainTrace keeps a finished trace retrievable, evicting the oldest
+// past the TraceRetain bound.
+func (eng *Engine) retainTrace(id uint64, tr *trace.Trace) {
+	if _, ok := eng.traces[id]; !ok {
+		eng.traceOrder = append(eng.traceOrder, id)
+		if len(eng.traceOrder) > eng.cfg.TraceRetain {
+			delete(eng.traces, eng.traceOrder[0])
+			eng.traceOrder = eng.traceOrder[1:]
+		}
+	}
+	eng.traces[id] = tr
+}
+
+// Trace returns the trace of a traced query initiated on this node:
+// the partial trace of a still-live query (Finished zero), or the
+// retained trace of a finished one. ok is false for unknown ids and
+// for queries that were not traced.
+func (eng *Engine) Trace(id uint64) (*trace.Trace, bool) {
+	if c, ok := eng.collectors[id]; ok {
+		if !c.traced {
+			return nil, false
+		}
+		return eng.assembleTrace(id, c, 0), true
+	}
+	if tr, ok := eng.traces[id]; ok {
+		return tr, true
+	}
+	return nil, false
+}
+
+// recordCollectorSpan records one initiator-side span into the
+// collector's bounded accumulator and its stage histogram.
+func (eng *Engine) recordCollectorSpan(c *collector, s trace.Span) {
+	s.Node = eng.env.Addr()
+	s.Seq = c.spanSeq
+	c.spanSeq++
+	eng.hSpanDur[s.Stage].Observe(s.Dur.Seconds())
+	eng.qstats.TraceSpans++
+	if len(c.spans) >= collectorSpanCap {
+		c.spanDrops++
+		eng.qstats.TraceSpanDrops++
+		return
+	}
+	c.spans = append(c.spans, s)
+}
+
+// absorbSpans folds one result frame's piggybacked spans into the
+// collector, bounded by collectorSpanCap, and observes their stage
+// histograms.
+func (eng *Engine) absorbSpans(c *collector, spans []trace.Span, drops uint64) {
+	c.spanDrops += drops
+	eng.qstats.TraceSpanDrops += drops
+	for _, s := range spans {
+		if !s.Stage.Valid() || s.Dur < 0 {
+			continue // simulator paths skip the wire codec's validation
+		}
+		eng.hSpanDur[s.Stage].Observe(s.Dur.Seconds())
+		eng.qstats.TraceSpans++
+		if len(c.spans) >= collectorSpanCap {
+			c.spanDrops++
+			eng.qstats.TraceSpanDrops++
+			continue
+		}
+		c.spans = append(c.spans, s)
+	}
+}
+
+// QueryDurations snapshots the end-to-end query duration histogram
+// (observed at collector close for every query initiated here).
+func (eng *Engine) QueryDurations() trace.HistogramSnapshot { return eng.hQueryDur.Snapshot() }
+
+// FlushLatencies snapshots the result flush latency histogram
+// (observed at this node's executors: first tuple buffered to frame
+// shipped).
+func (eng *Engine) FlushLatencies() trace.HistogramSnapshot { return eng.hFlushLat.Snapshot() }
+
+// SpanDurations snapshots the per-stage span duration histograms, in
+// stage order (observed as traced spans reach this node's collectors).
+func (eng *Engine) SpanDurations() []trace.NamedSnapshot {
+	names := trace.StageNames()
+	out := make([]trace.NamedSnapshot, len(names))
+	for i, name := range names {
+		out[i] = trace.NamedSnapshot{Name: name, Hist: eng.hSpanDur[i].Snapshot()}
+	}
+	return out
 }
 
 // reportWindows feeds the observer every counted window below the
@@ -427,6 +613,10 @@ func (eng *Engine) onResult(from env.Addr, rm *resultMsg) {
 	for _, t := range rm.Tuples {
 		c.fn(t, rm.Window)
 	}
+	c.tuples += uint64(len(rm.Tuples))
+	if c.traced && (len(rm.Spans) > 0 || rm.SpanDrops > 0) {
+		eng.absorbSpans(c, rm.Spans, rm.SpanDrops)
+	}
 	eng.replenishCredit(c, rm.ID, from, len(rm.Tuples))
 }
 
@@ -455,6 +645,13 @@ func (eng *Engine) replenishCredit(c *collector, id uint64, from env.Addr, n int
 		sc.granted = sc.received + w
 		eng.qstats.CreditGrants++
 		eng.env.Send(from, &creditMsg{ID: id, Limit: sc.granted})
+		if c.traced {
+			eng.recordCollectorSpan(c, trace.Span{
+				Stage: trace.StageCreditGrant,
+				Start: eng.env.Now().UnixNano(),
+				Note:  fmt.Sprintf("%s limit=%d", from, sc.granted),
+			})
+		}
 	}
 }
 

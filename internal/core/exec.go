@@ -10,6 +10,7 @@ import (
 	"pier/internal/core/bloom"
 	"pier/internal/dht/storage"
 	"pier/internal/env"
+	"pier/internal/trace"
 )
 
 // exec is the per-node instantiation of one query's dataflow. Operators
@@ -50,6 +51,16 @@ type exec struct {
 	resLimit int64     // cumulative credit limit (flow control off: unused)
 	resFlush env.Timer // pending size/interval flush
 	resStall env.Timer // pending credit stall-refresh
+
+	// spans is the traced query's bounded span buffer (nil when the
+	// query is untraced); it drains into outbound result frames.
+	spans *trace.Buffer
+	// resFirstBuf is when the oldest tuple of the current buffer
+	// generation was buffered, anchoring the flush-latency histogram
+	// and the result_flush span (zero when the buffer is empty).
+	resFirstBuf time.Time
+	// stallStart anchors the credit_stall span (zero outside stalls).
+	stallStart time.Time
 }
 
 // resultItem is one buffered output tuple; the window rides along so a
@@ -73,7 +84,12 @@ type partialGroup struct {
 }
 
 func newExec(eng *Engine, m *queryMsg) *exec {
+	var spans *trace.Buffer
+	if m.Trace {
+		spans = trace.NewBuffer(eng.cfg.TraceBuf)
+	}
 	return &exec{
+		spans:     spans,
 		eng:       eng,
 		id:        m.ID,
 		initiator: m.Initiator,
@@ -93,29 +109,62 @@ func newExec(eng *Engine, m *queryMsg) *exec {
 
 func (ex *exec) bloomNS(side int) string { return fmt.Sprintf("q%x.bloom%d", ex.id, side) }
 
+// span records one event into the traced query's bounded span buffer;
+// untraced queries make it a no-op. Callers building a note string
+// should guard the formatting with ex.spans != nil.
+func (ex *exec) span(st trace.Stage, start time.Time, dur time.Duration, note string) {
+	if ex.spans == nil {
+		return
+	}
+	ex.spans.Add(trace.Span{
+		Stage: st,
+		Node:  ex.eng.env.Addr(),
+		Start: start.UnixNano(),
+		Dur:   dur,
+		Note:  note,
+	})
+}
+
 func (ex *exec) start() {
 	p := ex.plan
+	if ex.spans != nil {
+		// The multicast span marks the query's arrival at this node —
+		// the end of the dissemination hop.
+		var tables []string
+		for _, tr := range p.Tables {
+			tables = append(tables, tr.NS)
+		}
+		ex.span(trace.StageMulticast, ex.startAt, 0, "query arrived: "+strings.Join(tables, ","))
+	}
+	t0 := ex.eng.env.Now()
 	if len(p.Aggs) > 0 {
 		ex.scheduleAggEmit()
 	}
 	if len(p.Tables) == 1 {
 		ex.startSingle()
-		return
+	} else {
+		switch p.Strategy {
+		case SymmetricHash:
+			ex.registerPairProbe()
+			ex.rehashScan(0, nil)
+			ex.rehashScan(1, nil)
+		case FetchMatches:
+			ex.startFetchMatches()
+		case SymmetricSemiJoin:
+			ex.registerMiniProbe()
+			ex.miniScan(0)
+			ex.miniScan(1)
+		case BloomJoin:
+			ex.registerPairProbe()
+			ex.startBloom()
+		}
 	}
-	switch p.Strategy {
-	case SymmetricHash:
-		ex.registerPairProbe()
-		ex.rehashScan(0, nil)
-		ex.rehashScan(1, nil)
-	case FetchMatches:
-		ex.startFetchMatches()
-	case SymmetricSemiJoin:
-		ex.registerMiniProbe()
-		ex.miniScan(0)
-		ex.miniScan(1)
-	case BloomJoin:
-		ex.registerPairProbe()
-		ex.startBloom()
+	if ex.spans != nil {
+		note := "single-table"
+		if len(p.Tables) == 2 {
+			note = p.Strategy.String()
+		}
+		ex.span(trace.StageExecutor, t0, ex.eng.env.Now().Sub(t0), note)
 	}
 }
 
@@ -150,6 +199,14 @@ func (ex *exec) stop() {
 	// and a cancelled or expired query's collector is usually already
 	// closed — the frames then drop at the initiator.
 	ex.flushResults(true)
+	// Spans recorded since the last result frame (or by an executor
+	// that produced no results at all) would die with the exec; ship
+	// them in one final zero-tuple frame. Best effort — a cancelled
+	// query's collector is often already closed.
+	if ex.spans != nil && (ex.spans.Len() > 0 || ex.spans.Drops() > 0) {
+		spans, drops := ex.spans.Drain()
+		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: ex.window(), Spans: spans, SpanDrops: drops})
+	}
 }
 
 // timer schedules f, suppressed after stop.
@@ -209,6 +266,9 @@ func (ex *exec) emit(t *Tuple, window int) {
 		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: window, Tuples: []*Tuple{t}})
 		return
 	}
+	if len(ex.resBuf) == 0 {
+		ex.resFirstBuf = ex.eng.env.Now()
+	}
 	ex.resBuf = append(ex.resBuf, resultItem{w: window, t: t})
 	if len(ex.resBuf) >= cfg.ResultBatch {
 		ex.flushResults(false)
@@ -262,7 +322,24 @@ func (ex *exec) flushResults(force bool) {
 		ex.resSent += int64(k)
 		ex.eng.qstats.ResultBatches++
 		ex.eng.qstats.ResultTuples += uint64(k)
-		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: w, Tuples: tuples})
+		rm := &resultMsg{ID: ex.id, Window: w, Tuples: tuples}
+		if !ex.resFirstBuf.IsZero() {
+			// One observation per flush episode: oldest buffered tuple
+			// to first frame on the wire.
+			lat := ex.eng.env.Now().Sub(ex.resFirstBuf)
+			ex.eng.hFlushLat.Observe(lat.Seconds())
+			if ex.spans != nil {
+				ex.span(trace.StageResultFlush, ex.resFirstBuf, lat, fmt.Sprintf("%d tuples w%d", k, w))
+			}
+			ex.resFirstBuf = time.Time{}
+		}
+		if ex.spans != nil && (ex.spans.Len() > 0 || ex.spans.Drops() > 0) {
+			// Piggyback the drained span buffer on the result frame:
+			// span delivery inherits the channel's batching and credit
+			// window, so tracing cannot cause its own incast.
+			rm.Spans, rm.SpanDrops = ex.spans.Drain()
+		}
+		ex.eng.env.Send(ex.initiator, rm)
 	}
 	ex.resBuf = nil
 	if ex.resStall != nil {
@@ -282,14 +359,26 @@ func (ex *exec) stallResults() {
 		return
 	}
 	ex.eng.qstats.CreditStalls++
+	ex.stallStart = ex.eng.env.Now()
 	ex.resStall = ex.eng.env.After(ex.eng.cfg.CreditRefresh, func() {
 		ex.resStall = nil
 		if ex.stopped {
 			return
 		}
+		ex.endStall("self-refresh")
 		ex.resLimit = ex.resSent + int64(ex.eng.cfg.ResultCredit)
 		ex.flushResults(false)
 	})
+}
+
+// endStall closes the current credit-stall episode with a span
+// recording how long the flush waited before how it resumed.
+func (ex *exec) endStall(how string) {
+	if ex.stallStart.IsZero() {
+		return
+	}
+	ex.span(trace.StageCreditStall, ex.stallStart, ex.eng.env.Now().Sub(ex.stallStart), how)
+	ex.stallStart = time.Time{}
 }
 
 // onCredit applies a collector grant. Limits are cumulative, so stale
@@ -304,6 +393,7 @@ func (ex *exec) onCredit(limit int64) {
 		// We were stalled on this credit; resume immediately.
 		ex.resStall.Stop()
 		ex.resStall = nil
+		ex.endStall("grant")
 		ex.flushResults(false)
 	}
 }
@@ -312,7 +402,10 @@ func (ex *exec) onCredit(limit int64) {
 
 func (ex *exec) startSingle() {
 	tbl := ex.plan.Tables[0]
+	t0 := ex.eng.env.Now()
+	matched := 0
 	process := func(t *Tuple) {
+		matched++
 		if !ex.pass(tbl.Filter, t.Vals) {
 			return
 		}
@@ -343,6 +436,9 @@ func (ex *exec) startSingle() {
 		}
 		return true
 	})
+	if ex.spans != nil {
+		ex.span(trace.StageScan, t0, ex.eng.env.Now().Sub(t0), fmt.Sprintf("%s: %d scanned", tbl.NS, matched))
+	}
 	if len(ex.plan.Aggs) > 0 {
 		ex.flushPartials()
 	}
@@ -355,6 +451,8 @@ func (ex *exec) startSingle() {
 // the rehash (§4.2).
 func (ex *exec) rehashScan(side int, f *bloom.Filter) {
 	tbl := ex.plan.Tables[side]
+	t0 := ex.eng.env.Now()
+	puts := 0
 	ex.eng.prov.Scan(tbl.NS, func(it *storage.Item) bool {
 		t, ok := it.Payload.(*Tuple)
 		if !ok {
@@ -368,9 +466,13 @@ func (ex *exec) rehashScan(side int, f *bloom.Filter) {
 		if f != nil && !f.Test(key) {
 			return true
 		}
+		puts++
 		ex.eng.prov.Put(ex.nq, ex.rehashRID(key), ex.eng.env.Rand().Int63(), &sideTuple{Side: side, T: proj}, ex.plan.TTL)
 		return true
 	})
+	if ex.spans != nil {
+		ex.span(trace.StageRehash, t0, ex.eng.env.Now().Sub(t0), fmt.Sprintf("%s: %d puts", tbl.NS, puts))
+	}
 }
 
 // rehashRID maps a join key to its NQ resourceID. With ComputeNodes set,
@@ -486,9 +588,14 @@ func (ex *exec) startFetchMatches() {
 		}
 		proj0 := t.Project(t0.Project)
 		key := JoinKeyString(proj0, t0.JoinCols)
+		issued := ex.eng.env.Now()
 		ex.eng.prov.Get(t1.NS, key, func(items []*storage.Item) {
 			if ex.stopped {
 				return
+			}
+			if ex.spans != nil {
+				ex.span(trace.StageDHTGet, issued, ex.eng.env.Now().Sub(issued),
+					fmt.Sprintf("%s/%s: %d items", t1.NS, key, len(items)))
 			}
 			for _, sit := range items {
 				s, ok := sit.Payload.(*Tuple)
@@ -601,7 +708,12 @@ func (ex *exec) fetchSide(side int, rid string, out *[]*Tuple, done func()) {
 	fe = &fetchEntry{}
 	ex.fetchCache[side][rid] = fe
 	tbl := ex.plan.Tables[side]
+	issued := ex.eng.env.Now()
 	ex.eng.prov.Get(tbl.NS, rid, func(items []*storage.Item) {
+		if ex.spans != nil && !ex.stopped {
+			ex.span(trace.StageDHTGet, issued, ex.eng.env.Now().Sub(issued),
+				fmt.Sprintf("%s/%s: %d items", tbl.NS, rid, len(items)))
+		}
 		for _, it := range items {
 			t, ok := it.Payload.(*Tuple)
 			if !ok {
@@ -689,6 +801,13 @@ func (ex *exec) emitBloom(side int) {
 		comb = bloom.New(p.BloomBits, p.BloomHashes)
 		comb.Saturate()
 	}
+	if ex.spans != nil {
+		note := fmt.Sprintf("side %d combined", side)
+		if mismatch {
+			note += " (geometry mismatch, saturated)"
+		}
+		ex.span(trace.StageBloomCollect, ex.eng.env.Now(), 0, note)
+	}
 	ex.eng.prov.Multicast(QueryNS, &bloomDist{ID: ex.id, Side: side, F: comb})
 }
 
@@ -699,6 +818,9 @@ func (ex *exec) onBloomDist(m *bloomDist) {
 		return
 	}
 	ex.bloomRecv[m.Side] = true
+	if ex.spans != nil {
+		ex.span(trace.StageBloomDist, ex.eng.env.Now(), 0, fmt.Sprintf("filter for side %d arrived", m.Side))
+	}
 	ex.rehashScan(1-m.Side, m.F)
 }
 

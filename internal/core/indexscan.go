@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"pier/internal/env"
+	"pier/internal/trace"
 )
 
 // IndexRangeScan is the index access path of a single-table plan: scan
@@ -64,6 +65,7 @@ func (eng *Engine) indexRunnable(p *Plan) bool {
 func (eng *Engine) runIndexQuery(id uint64, p *Plan) {
 	tbl := p.Tables[0]
 	is := tbl.IndexScan
+	t0 := eng.env.Now()
 	seen := make(map[string]bool)
 	groups := make(map[string]*partialGroup)
 	var order []string
@@ -123,6 +125,14 @@ func (eng *Engine) runIndexQuery(id uint64, p *Plan) {
 		func(contacted int) {
 			if c, ok := eng.collectors[id]; ok {
 				c.contacted = contacted
+				if c.traced {
+					eng.recordCollectorSpan(c, trace.Span{
+						Stage: trace.StageIndexScan,
+						Start: t0.UnixNano(),
+						Dur:   eng.env.Now().Sub(t0),
+						Note:  fmt.Sprintf("%s: %d trie nodes", is.Index, contacted),
+					})
+				}
 			}
 			if len(p.Aggs) == 0 {
 				return

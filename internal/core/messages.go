@@ -5,25 +5,35 @@ import (
 
 	"pier/internal/core/bloom"
 	"pier/internal/env"
+	"pier/internal/trace"
 )
 
 // queryMsg is the multicast payload that disseminates a query to every
 // node (§3.2.3: "To run a query, PIER attempts to contact the nodes that
-// hold data in a particular namespace" via multicast).
+// hold data in a particular namespace" via multicast). Trace is the
+// initiator's effective sampling decision: when set, every executor
+// records trace spans for this query.
 type queryMsg struct {
 	ID        uint64
 	Initiator env.Addr
+	Trace     bool
 	Plan      *Plan
 }
 
 // WireSize implements env.Message.
-func (m *queryMsg) WireSize() int { return 8 + env.AddrSize + m.Plan.WireSize() }
+func (m *queryMsg) WireSize() int { return 9 + env.AddrSize + m.Plan.WireSize() }
 
 // resultMsg delivers output tuples directly to the query initiator.
+// For traced queries the executor's drained span buffer (and the count
+// of spans dropped at its bound) piggybacks on the frame, so span
+// delivery rides the same credit-windowed channel as the results it
+// describes.
 type resultMsg struct {
-	ID     uint64
-	Window int
-	Tuples []*Tuple
+	ID        uint64
+	Window    int
+	Tuples    []*Tuple
+	Spans     []trace.Span
+	SpanDrops uint64
 }
 
 // WireSize implements env.Message.
@@ -31,6 +41,12 @@ func (m *resultMsg) WireSize() int {
 	n := env.HeaderSize + 12
 	for _, t := range m.Tuples {
 		n += t.WireSize()
+	}
+	for i := range m.Spans {
+		n += 1 + m.Spans[i].WireSize()
+	}
+	if m.SpanDrops > 0 || len(m.Spans) > 0 {
+		n += 5
 	}
 	return n
 }

@@ -173,6 +173,13 @@ type Plan struct {
 	// pay off; a cold catalog keeps the index (the user created it for
 	// a reason).
 	AutoAccess bool
+
+	// Trace requests distributed tracing for this query: the
+	// initiator's sampling decision propagates in the query multicast
+	// and every executor records span events (see internal/trace).
+	// EXPLAIN TRACE and the admin plane's trace flag set it; the
+	// engine's TraceSample policy may also sample untraced plans in.
+	Trace bool
 }
 
 // Validate performs basic sanity checks and fills defaults.
@@ -229,7 +236,7 @@ func (e errPlan) Error() string { return "pier: invalid plan: " + string(e) }
 
 // WireSize estimates the plan's encoded size for the query multicast.
 func (p *Plan) WireSize() int {
-	n := 64
+	n := 65
 	for _, tr := range p.Tables {
 		n += env.StringSize(tr.NS) + 4*(len(tr.Project)+len(tr.JoinCols)) + 8
 		if tr.Filter != nil {

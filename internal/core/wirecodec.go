@@ -8,6 +8,7 @@ package core
 import (
 	"pier/internal/core/bloom"
 	"pier/internal/env"
+	"pier/internal/trace"
 	"pier/internal/wire"
 )
 
@@ -47,10 +48,11 @@ func init() {
 			q := m.(*queryMsg)
 			e.Uvarint(q.ID)
 			e.Addr(q.Initiator)
+			e.Bool(q.Trace)
 			e.Message(q.Plan)
 		},
 		func(d *wire.Decoder) env.Message {
-			q := &queryMsg{ID: d.Uvarint(), Initiator: d.Addr()}
+			q := &queryMsg{ID: d.Uvarint(), Initiator: d.Addr(), Trace: d.Bool()}
 			q.Plan = planField(d)
 			return q
 		})
@@ -64,6 +66,11 @@ func init() {
 			for _, t := range r.Tuples {
 				e.Message(t)
 			}
+			e.Len(len(r.Spans))
+			for i := range r.Spans {
+				e.Message(&r.Spans[i])
+			}
+			e.Uvarint(r.SpanDrops)
 		},
 		func(d *wire.Decoder) env.Message {
 			r := &resultMsg{ID: d.Uvarint(), Window: d.Int()}
@@ -73,6 +80,15 @@ func init() {
 					r.Tuples = append(r.Tuples, tupleField(d))
 				}
 			}
+			if n := d.Len(); n > 0 {
+				r.Spans = make([]trace.Span, 0, wire.SliceCap(n))
+				for i := 0; i < n && d.Err() == nil; i++ {
+					if s := spanField(d); s != nil {
+						r.Spans = append(r.Spans, *s)
+					}
+				}
+			}
+			r.SpanDrops = d.Uvarint()
 			return r
 		})
 
@@ -302,6 +318,7 @@ func encodePlan(e *wire.Encoder, m env.Message) {
 	e.Int(p.Windows)
 	e.Bool(p.AutoStrategy)
 	e.Bool(p.AutoAccess)
+	e.Bool(p.Trace)
 }
 
 func decodePlan(d *wire.Decoder) env.Message {
@@ -346,6 +363,7 @@ func decodePlan(d *wire.Decoder) env.Message {
 	p.Windows = d.Int()
 	p.AutoStrategy = d.Bool()
 	p.AutoAccess = d.Bool()
+	p.Trace = d.Bool()
 	return p
 }
 
@@ -511,6 +529,25 @@ func filterField(d *wire.Decoder) *bloom.Filter {
 		return nil
 	}
 	return f
+}
+
+// spanField decodes a nested trace span written with Encoder.Message.
+// The span codec (package trace) already rejects invalid stages and
+// negative durations; here only the type is checked.
+func spanField(d *wire.Decoder) *trace.Span {
+	m := d.Message()
+	if m == nil {
+		if d.Err() == nil {
+			d.Fail("missing required trace span")
+		}
+		return nil
+	}
+	s, ok := m.(*trace.Span)
+	if !ok {
+		d.Fail("message is not a trace span")
+		return nil
+	}
+	return s
 }
 
 // indexScanField decodes an optional nested IndexRangeScan (nil stays

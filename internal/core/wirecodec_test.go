@@ -11,6 +11,7 @@ import (
 
 	"pier/internal/core/bloom"
 	"pier/internal/env"
+	"pier/internal/trace"
 	"pier/internal/wire"
 	"pier/internal/wire/wiretest"
 )
@@ -137,6 +138,7 @@ func randPlan(r *rand.Rand) *Plan {
 	p.AggFanout = r.Intn(8)
 	p.AutoStrategy = r.Intn(2) == 0
 	p.AutoAccess = r.Intn(2) == 0
+	p.Trace = r.Intn(2) == 0
 	if r.Intn(4) == 0 {
 		p.Continuous = true
 		p.Every = time.Duration(1 + r.Int31())
@@ -152,7 +154,7 @@ func randPlan(r *rand.Rand) *Plan {
 func TestWireRoundTrip(t *testing.T) {
 	wiretest.RoundTrip(t, 1, 200, []wiretest.Gen{
 		{Name: "queryMsg", Make: func(r *rand.Rand) env.Message {
-			return &queryMsg{ID: r.Uint64(), Initiator: wiretest.ShortAddr(r), Plan: randPlan(r)}
+			return &queryMsg{ID: r.Uint64(), Initiator: wiretest.ShortAddr(r), Trace: r.Intn(2) == 0, Plan: randPlan(r)}
 		}},
 		{Name: "resultMsg", Make: func(r *rand.Rand) env.Message {
 			m := &resultMsg{ID: r.Uint64(), Window: r.Intn(100)}
@@ -161,6 +163,20 @@ func TestWireRoundTrip(t *testing.T) {
 				for i := range m.Tuples {
 					m.Tuples[i] = randTuple(r)
 				}
+			}
+			if n := r.Intn(4); n > 0 {
+				m.Spans = make([]trace.Span, n)
+				for i := range m.Spans {
+					m.Spans[i] = trace.Span{
+						Stage: trace.Stage(r.Intn(trace.NumStages)),
+						Node:  wiretest.ShortAddr(r),
+						Start: int64(r.Int31()),
+						Dur:   time.Duration(r.Int31()),
+						Note:  wiretest.Str(r, 12),
+						Seq:   uint32(r.Intn(1 << 10)),
+					}
+				}
+				m.SpanDrops = uint64(r.Intn(16))
 			}
 			return m
 		}},
@@ -215,7 +231,10 @@ func TestWireExtremeValues(t *testing.T) {
 		&Tuple{Rel: "r", Vals: []Value{int64(math.MinInt64), int64(math.MaxInt64), math.Inf(1), "", nil}},
 		&AggState{Count: math.MaxInt64, SumI: math.MinInt64, SumF: math.Inf(-1), Seen: true, MinV: int64(math.MinInt64), MaxV: int64(math.MaxInt64)},
 		&miniTuple{Side: 1, RID: "", Key: ""},
-		&queryMsg{ID: math.MaxUint64, Initiator: "203.0.113.7:65535", Plan: &Plan{}},
+		&queryMsg{ID: math.MaxUint64, Initiator: "203.0.113.7:65535", Trace: true, Plan: &Plan{}},
+		&resultMsg{ID: 1, SpanDrops: math.MaxUint64, Spans: []trace.Span{
+			{Stage: trace.StageCollect, Node: "n", Start: math.MinInt64, Dur: math.MaxInt64, Seq: math.MaxUint32},
+		}},
 	}
 	for i, m := range msgs {
 		b, err := wire.Marshal(m)
@@ -272,7 +291,7 @@ func TestHostileFieldValuesRejected(t *testing.T) {
 // the event loop.
 func TestNilRequiredFieldsRejected(t *testing.T) {
 	cases := map[string][]byte{
-		"queryMsg nil plan":   {tagQueryMsg, 1, 1, 'a', 0},
+		"queryMsg nil plan":   {tagQueryMsg, 1, 1, 'a', 0, 0},
 		"sideTuple nil tuple": {tagSideTuple, 0, 0},
 		"bloomPut nil filter": {tagBloomPut, 0, 0},
 		"not nil child":       {tagExprNot, 0},

@@ -1,0 +1,72 @@
+package experiments
+
+// Baseline comparison for the bench-smoke CI gate: a committed
+// BENCH_0.json snapshot defines the performance floor, and
+// `pier-bench -baseline BENCH_0.json` fails the run when a
+// deterministic metric regresses past its budget. Only
+// simulation-stable metrics participate — traffic bytes, result
+// frames/tuples, trie nodes contacted, and result counts are exact
+// replays of a pinned seed — never wall-clock rates, which track host
+// load, not code.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadBenchJSON decodes a BENCH_*.json record array as written by
+// WriteBenchJSON.
+func ReadBenchJSON(r io.Reader) ([]BenchRecord, error) {
+	var recs []BenchRecord
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// benchKey identifies a record for baseline matching.
+func benchKey(r BenchRecord) string {
+	return fmt.Sprintf("%s/%s/%s adaptive=%v n=%d", r.Scenario, r.Workload, r.Strategy, r.Adaptive, r.Nodes)
+}
+
+// CompareBaseline matches current records against baseline records by
+// (scenario, workload, strategy, adaptive, nodes) and returns one line
+// per regression plus the number of record pairs compared. Records
+// present on only one side are ignored, so the gate keeps working when
+// scenarios are added or a CI run restricts itself with -only. Cost
+// metrics (traffic bytes, result frames, result tuples, nodes
+// contacted) may not grow past 1+tol of the baseline; the result count
+// (recall) may not shrink below 1-tol. Zero baseline values are
+// skipped — the metric was not measured by that scenario.
+func CompareBaseline(baseline, current []BenchRecord, tol float64) (regressions []string, compared int) {
+	base := map[string]BenchRecord{}
+	for _, r := range baseline {
+		base[benchKey(r)] = r
+	}
+	for _, cur := range current {
+		b, ok := base[benchKey(cur)]
+		if !ok {
+			continue
+		}
+		compared++
+		check := func(metric string, baseV, curV int64) {
+			if baseV <= 0 {
+				return
+			}
+			if float64(curV) > float64(baseV)*(1+tol) {
+				regressions = append(regressions, fmt.Sprintf("%s: %s %d -> %d (+%.0f%%, budget %.0f%%)",
+					benchKey(cur), metric, baseV, curV, 100*(float64(curV)/float64(baseV)-1), 100*tol))
+			}
+		}
+		check("traffic_bytes", b.TrafficBytes, cur.TrafficBytes)
+		check("result_frames", b.ResultFrames, cur.ResultFrames)
+		check("result_tuples", b.ResultTuples, cur.ResultTuples)
+		check("nodes_contacted", int64(b.NodesContacted), int64(cur.NodesContacted))
+		if b.Results > 0 && float64(cur.Results) < float64(b.Results)*(1-tol) {
+			regressions = append(regressions, fmt.Sprintf("%s: results %d -> %d (recall regression, budget %.0f%%)",
+				benchKey(cur), b.Results, cur.Results, 100*tol))
+		}
+	}
+	return regressions, compared
+}

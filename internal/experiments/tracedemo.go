@@ -1,0 +1,70 @@
+package experiments
+
+// The trace demo: one traced distributed join, end to end, printing
+// the assembled span tree — the same artifact EXPLAIN TRACE returns
+// over SQL and GET /api/queries/{id}/trace returns over REST. It
+// exists so `pier-bench -trace` gives a zero-setup look at what query
+// tracing records: multicast fan-out, per-node executor and scan
+// spans, rehash/Bloom phases, and result-flush latencies, all on the
+// deployment's virtual clock.
+
+import (
+	"fmt"
+	"time"
+
+	"pier"
+	"pier/internal/core"
+	"pier/internal/topology"
+	"pier/internal/workload"
+)
+
+// TraceDemo runs the §5.1 workload join EXPLAIN TRACE'd over a
+// simulated deployment (64 nodes; 256 with full) and returns a
+// human-readable report: recall plus the rendered span tree.
+func TraceDemo(seed int64, full bool) (string, error) {
+	nodes, sTuples := 64, 60
+	if full {
+		nodes, sTuples = 256, 200
+	}
+	sn := pier.NewSimNetwork(nodes, topology.NewFullMeshInfinite(), seed, pier.DefaultOptions())
+	tables := workload.Generate(workload.Config{STuples: sTuples, Seed: seed + 1})
+	for i, r := range tables.R {
+		sn.Load("R", core.ValueString(r.Vals[workload.RPkey]), int64(i), r, 0)
+	}
+	for i, s := range tables.S {
+		sn.Load("S", core.ValueString(s.Vals[workload.SPkey]), int64(i), s, 0)
+	}
+	cat := pier.Catalog{
+		"R": {Name: "R", Cols: []string{"pkey", "num1", "num2", "num3"}, Key: "pkey"},
+		"S": {Name: "S", Cols: []string{"pkey", "num2", "num3"}, Key: "pkey"},
+	}
+	c1, c2, c3 := workload.Constants(0.5, 0.5, 0.5)
+	want := tables.ReferenceJoin(c1, c2, c3)
+
+	src := fmt.Sprintf(`EXPLAIN TRACE
+		SELECT R.pkey, S.pkey
+		FROM R, S
+		WHERE R.num1 = S.pkey AND R.num2 > %d AND S.num2 > %d
+		  AND f(R.num3, S.num3) > %d`, c1, c2, c3)
+	plan, err := pier.ParseSQL(src, cat)
+	if err != nil {
+		return "", err
+	}
+
+	received := 0
+	id, err := sn.Nodes[0].Query(plan, func(*core.Tuple, int) { received++ })
+	if err != nil {
+		return "", err
+	}
+	sn.RunUntil(10*time.Minute, func() bool { return received >= len(want) })
+	// Let trailing result frames — and the span buffers they piggyback —
+	// land before the collector closes.
+	sn.RunFor(2 * time.Second)
+	sn.Nodes[0].Cancel(id)
+	tr, ok := sn.Nodes[0].Trace(id)
+	if !ok {
+		return "", fmt.Errorf("traced query %d left no trace", id)
+	}
+	return fmt.Sprintf("join returned %d/%d rows across %d nodes\n\n%s",
+		received, len(want), nodes, tr.RenderString()), nil
+}

@@ -91,3 +91,11 @@ type CreateIndexStmt struct {
 	Table string
 	Col   string
 }
+
+// ExplainStmt is a parsed EXPLAIN TRACE <select> statement: run the
+// inner SELECT with distributed tracing forced on and answer with the
+// assembled trace tree instead of (or alongside) the result rows.
+type ExplainStmt struct {
+	// Select is the traced inner statement.
+	Select *Stmt
+}

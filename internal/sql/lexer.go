@@ -36,6 +36,7 @@ var keywords = map[string]bool{
 	"HAVING": true, "AS": true, "AND": true, "OR": true, "NOT": true,
 	"TRUE": true, "FALSE": true, "NULL": true, "USING": true, "STRATEGY": true,
 	"IN": true, "CREATE": true, "INDEX": true, "ON": true,
+	"EXPLAIN": true, "TRACE": true,
 }
 
 type lexer struct {

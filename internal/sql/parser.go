@@ -19,8 +19,9 @@ func Parse(src string) (*Stmt, error) {
 	return sel, nil
 }
 
-// ParseStatement parses one statement of either supported kind,
-// returning *Stmt for SELECT or *CreateIndexStmt for CREATE INDEX.
+// ParseStatement parses one statement of any supported kind, returning
+// *Stmt for SELECT, *CreateIndexStmt for CREATE INDEX, or *ExplainStmt
+// for EXPLAIN TRACE <select>.
 func ParseStatement(src string) (any, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -28,9 +29,12 @@ func ParseStatement(src string) (any, error) {
 	}
 	p := &parser{toks: toks}
 	var st any
-	if t := p.peek(); t.kind == tokKeyword && t.text == "CREATE" {
+	switch t := p.peek(); {
+	case t.kind == tokKeyword && t.text == "CREATE":
 		st, err = p.parseCreateIndex()
-	} else {
+	case t.kind == tokKeyword && t.text == "EXPLAIN":
+		st, err = p.parseExplain()
+	default:
 		st, err = p.parseSelect()
 	}
 	if err != nil {
@@ -40,6 +44,23 @@ func ParseStatement(src string) (any, error) {
 		return nil, p.errf("trailing input starting at %q", p.peek().text)
 	}
 	return st, nil
+}
+
+// parseExplain parses EXPLAIN TRACE <select>. Plain EXPLAIN (without
+// TRACE) is rejected: there is no static plan printer, only the traced
+// execution surface.
+func (p *parser) parseExplain() (*ExplainStmt, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TRACE"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Select: sel}, nil
 }
 
 // parseCreateIndex parses CREATE INDEX name ON table (col).

@@ -41,13 +41,27 @@ func (t Table) Col(name string) int {
 	return -1
 }
 
-// Plan parses src and lowers it to an executable core.Plan.
+// Plan parses src and lowers it to an executable core.Plan. Both plain
+// SELECT and EXPLAIN TRACE <select> are accepted; the latter lowers the
+// inner SELECT with the plan's Trace flag forced on.
 func Plan(src string, cat Catalog) (*core.Plan, error) {
-	st, err := Parse(src)
+	st, err := ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
-	return ToPlan(st, cat)
+	switch s := st.(type) {
+	case *Stmt:
+		return ToPlan(s, cat)
+	case *ExplainStmt:
+		p, err := ToPlan(s.Select, cat)
+		if err != nil {
+			return nil, err
+		}
+		p.Trace = true
+		return p, nil
+	default:
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
+	}
 }
 
 // ToPlan lowers a parsed statement against the catalog.

@@ -65,6 +65,48 @@ func TestParseWorkloadQuery(t *testing.T) {
 	}
 }
 
+// TestParseExplainTrace: EXPLAIN TRACE wraps a SELECT; Plan lowers it
+// with the Trace flag forced on, and a plain SELECT stays untraced.
+func TestParseExplainTrace(t *testing.T) {
+	st, err := ParseStatement("EXPLAIN TRACE SELECT R.pkey FROM R WHERE R.num2 > 49")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("parsed %T, want *ExplainStmt", st)
+	}
+	if len(ex.Select.From) != 1 || ex.Select.From[0].Name != "R" {
+		t.Fatalf("inner select: %+v", ex.Select)
+	}
+
+	p, err := Plan("EXPLAIN TRACE SELECT R.pkey FROM R WHERE R.num2 > 49", testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Trace {
+		t.Fatal("EXPLAIN TRACE plan not marked traced")
+	}
+	plain, err := Plan("SELECT R.pkey FROM R WHERE R.num2 > 49", testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace {
+		t.Fatal("plain SELECT plan marked traced")
+	}
+
+	for _, bad := range []string{
+		"EXPLAIN SELECT R.pkey FROM R", // plain EXPLAIN: no static printer
+		"EXPLAIN TRACE",
+		"EXPLAIN TRACE CREATE INDEX r1 ON R (num1)",
+		"EXPLAIN TRACE SELECT R.pkey FROM R WHERE",
+	} {
+		if _, err := ParseStatement(bad); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",

@@ -10,6 +10,7 @@ import (
 	"pier/internal/env"
 	"pier/internal/index"
 	"pier/internal/stats"
+	"pier/internal/trace"
 	"pier/internal/wire"
 	"pier/internal/workload"
 )
@@ -44,6 +45,7 @@ func fuzzSeedMessages() []env.Message {
 		&multicast.FloodMsg{Origin: "sim:1", Seq: 9, Hint: []uint32{1, 2, 3, 4}, Payload: item},
 		&index.Entry{K: wire.OrderedKey(int64(49)), RID: "42", IID: 3, T: tuple},
 		&index.Def{Name: "r_num2", Table: "R", Col: "num2", ColIdx: 2},
+		&trace.Span{Stage: trace.StageResultFlush, Node: "sim:2", Start: 12345, Dur: time.Millisecond, Note: "8 tuples w0", Seq: 7},
 	}
 }
 

@@ -30,6 +30,7 @@
 //	90..99   package pier (catalog, ...)
 //	100..109 pier/internal/stats (statistics catalog)
 //	110..119 pier/internal/index (Prefix Hash Tree range indexes)
+//	120..129 pier/internal/trace (query tracing spans)
 //	200..255 applications and tests
 //
 // # Relation to WireSize

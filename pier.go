@@ -28,6 +28,7 @@ import (
 	"pier/internal/env"
 	"pier/internal/index"
 	"pier/internal/stats"
+	"pier/internal/trace"
 )
 
 // Re-exported query-construction types. Plans are built either directly
@@ -53,6 +54,15 @@ type (
 	// (result frames/tuples shipped, credit grants and stalls, Bloom
 	// combine fallbacks). See Node.QueryStats.
 	QueryStats = core.QueryStats
+	// QueryTrace is an assembled distributed query trace: the span
+	// events recorded by every participating node, causally ordered.
+	// See Node.Trace.
+	QueryTrace = trace.Trace
+	// TraceSpan is one recorded span event inside a QueryTrace.
+	TraceSpan = trace.Span
+	// TraceStage identifies the instrumented pipeline stage a TraceSpan
+	// covers (multicast arrival, executor start, result flush, ...).
+	TraceStage = trace.Stage
 )
 
 // Join strategies (§4).
@@ -259,6 +269,14 @@ func (n *Node) Query(p *Plan, fn ResultFunc) (uint64, error) {
 // reporting whether a live query with that id existed here (the admin
 // plane's DELETE /api/queries/{id} turns false into a 404).
 func (n *Node) Cancel(id uint64) bool { return n.engine.Cancel(id) }
+
+// Trace returns the distributed trace of a traced query initiated on
+// this node: partial (Finished == 0) while the query is live, complete
+// and retained for the last few queries after Cancel closes it. ok is
+// false for unknown, untraced, or evicted ids. A query is traced when
+// its plan sets Trace — EXPLAIN TRACE and the admin plane do — or when
+// the engine's TraceSample policy samples it in.
+func (n *Node) Trace(id uint64) (*QueryTrace, bool) { return n.engine.Trace(id) }
 
 // Leave departs the overlay gracefully: the node's zone and its stored
 // soft state transfer to a peer, so a clean shutdown (unlike a crash,

@@ -144,6 +144,15 @@ func (rn *RealNode) Cancel(id uint64) bool {
 	return found
 }
 
+// Trace fetches the distributed trace of a traced query from the
+// node's event loop. See Node.Trace.
+func (rn *RealNode) Trace(id uint64) (*QueryTrace, bool) {
+	var tr *QueryTrace
+	ok := false
+	rn.Do(func() { tr, ok = rn.Node.Trace(id) })
+	return tr, ok
+}
+
 // Leave departs the overlay gracefully from the node's event loop. The
 // zone-transfer messages are queued to a peer before this returns;
 // give them a moment on the wire before Close. See Node.Leave.

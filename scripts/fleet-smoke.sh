@@ -3,10 +3,11 @@
 #
 # Launches three pier-node daemons over real TCP on loopback, drives
 # them entirely through the HTTP admin plane (register a schema,
-# publish rows, run a SQL query across the fleet), asserts a clean
+# publish rows, run a SQL query across the fleet, run an EXPLAIN TRACE
+# query and re-fetch its distributed trace by id), asserts a clean
 # /metrics scrape with the transport / query-channel / catalog counter
-# families, and finally exercises graceful SIGTERM shutdown with a
-# live query draining.
+# families and the latency histogram families, and finally exercises
+# graceful SIGTERM shutdown with a live query draining.
 set -euo pipefail
 
 BIN=${BIN:-./pier-node}
@@ -109,6 +110,21 @@ done
 printf '%s\n' "$out" | tail -n 1 | grep -q '"dropped":0' || fail "stream dropped rows: $out"
 echo "ok: SQL over HTTP returned $rows rows across the fleet"
 
+# EXPLAIN TRACE over HTTP: the traced query must answer rows plus an
+# assembled trace with per-stage spans, and the same trace must stay
+# re-fetchable by id over REST.
+tout=$($CURL -X POST "http://127.0.0.1:$A3/api/queries" \
+  -d '{"sql":"EXPLAIN TRACE SELECT name, size FROM fish","wait_ms":3000}')
+printf '%s\n' "$tout" | grep -q '"rows"' || fail "EXPLAIN TRACE answered no row count: $tout"
+printf '%s\n' "$tout" | grep -q '"rendered"' || fail "EXPLAIN TRACE trace not rendered: $tout"
+tid=$(printf '%s\n' "$tout" | grep -o '"id":"[0-9]*"' | head -n 1 | grep -o '[0-9]*')
+[ -n "$tid" ] || fail "no trace id in EXPLAIN TRACE answer: $tout"
+ttrace=$($CURL "http://127.0.0.1:$A3/api/queries/$tid/trace")
+printf '%s\n' "$ttrace" | grep -q '"spans"' || fail "GET trace for query $tid: $ttrace"
+printf '%s\n' "$ttrace" | grep -q '"stage":"multicast"' || fail "trace $tid has no multicast span: $ttrace"
+printf '%s\n' "$ttrace" | grep -q '"stage":"result_flush"' || fail "trace $tid has no result_flush span: $ttrace"
+echo "ok: EXPLAIN TRACE answered and trace $tid re-fetched over REST"
+
 # /metrics must expose the transport, query-channel, and catalog
 # families, with actual traffic counted.
 scrape=$($CURL "http://127.0.0.1:$A3/metrics")
@@ -120,6 +136,10 @@ for family in \
   pier_query_credit_grants_total \
   pier_catalog_cached_tables \
   pier_softstate_stored_items \
+  pier_query_duration_seconds_bucket \
+  pier_query_duration_seconds_count \
+  pier_result_flush_latency_seconds_bucket \
+  pier_trace_span_duration_seconds_bucket \
   pier_ready; do
   printf '%s\n' "$scrape" | grep -q "^$family" || fail "/metrics missing $family"
 done
@@ -127,7 +147,11 @@ frames=$(printf '%s\n' "$scrape" | awk '/^pier_transport_frames_sent_total /{pri
 [ "${frames:-0}" -gt 0 ] || fail "no transport frames counted: $frames"
 tuples=$(printf '%s\n' "$scrape" | awk '/^pier_query_result_tuples_total /{print $2}')
 [ "${tuples:-0}" -gt 0 ] || fail "no result tuples counted: $tuples"
-echo "ok: /metrics scrape clean (frames=$frames tuples=$tuples)"
+qdur=$(printf '%s\n' "$scrape" | awk '/^pier_query_duration_seconds_count /{print $2}')
+[ "${qdur:-0}" -gt 0 ] || fail "no query durations observed: $qdur"
+printf '%s\n' "$scrape" | grep -q '^pier_query_duration_seconds_bucket{le="+Inf"}' \
+  || fail "query duration histogram has no +Inf bucket"
+echo "ok: /metrics scrape clean (frames=$frames tuples=$tuples query-durations=$qdur)"
 
 # Graceful shutdown: start a long-running query on node 2, SIGTERM it
 # mid-flight, and require a drain + clean exit.

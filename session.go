@@ -56,6 +56,10 @@ type Session interface {
 	// reporting whether a live query with that id existed here.
 	Cancel(id uint64) bool
 
+	// Trace returns the distributed trace of a traced query initiated
+	// on this node. See Node.Trace.
+	Trace(id uint64) (tr *QueryTrace, ok bool)
+
 	// Leave departs the overlay gracefully, handing soft state to a
 	// peer. See Node.Leave.
 	Leave()

@@ -3,6 +3,7 @@ package pier
 import (
 	"pier/internal/admin"
 	"pier/internal/core"
+	"pier/internal/trace"
 )
 
 // Re-exported operational-state types. Snapshot is the one serializable
@@ -24,6 +25,9 @@ type (
 	// QueryInfo describes one query alive on a node (see
 	// Node.LiveQueries).
 	QueryInfo = core.QueryInfo
+	// HistogramData is one latency histogram inside a Snapshot,
+	// exported on /metrics as a Prometheus histogram family.
+	HistogramData = admin.HistogramData
 )
 
 // Snapshot aggregates this node's observable state into one
@@ -69,10 +73,33 @@ func (n *Node) Snapshot() Snapshot {
 		CreditStalls:   qs.CreditStalls,
 		BloomFallbacks: qs.BloomFallbacks,
 	}
+	snap.Histograms = histogramData(n.engine)
 	if ls, ok := n.TransportStats(); ok {
 		snap.Transport = &ls
 	}
 	return snap
+}
+
+// histogramData snapshots the engine's latency distributions into the
+// admin plane's histogram DTOs: end-to-end query duration, result-flush
+// latency, and span durations per trace stage (every stage is emitted,
+// observed or not, so the /metrics families are stable across scrapes).
+func histogramData(eng *core.Engine) []HistogramData {
+	hist := func(name, help, stage string, s trace.HistogramSnapshot) HistogramData {
+		return HistogramData{Name: name, Help: help, Stage: stage,
+			Bounds: s.Bounds, Counts: s.Counts, Sum: s.Sum, Count: s.Count}
+	}
+	out := []HistogramData{
+		hist("pier_query_duration_seconds",
+			"End-to-end duration of queries initiated on this node.", "", eng.QueryDurations()),
+		hist("pier_result_flush_latency_seconds",
+			"Executor latency from first buffered tuple to its result frame.", "", eng.FlushLatencies()),
+	}
+	for _, ns := range eng.SpanDurations() {
+		out = append(out, hist("pier_trace_span_duration_seconds",
+			"Durations of trace spans recorded on this node, by pipeline stage.", ns.Name, ns.Hist))
+	}
+	return out
 }
 
 // LiveQueries lists the queries currently alive on this node — one

@@ -20,6 +20,11 @@ type Catalog = sql.Catalog
 // comparison operators in either orientation) on columns the catalog
 // declares an index for lower to an IndexRangeScan access path; see
 // Node.Exec for the CREATE INDEX statement that declares one.
+//
+// An `EXPLAIN TRACE <select>` prefix lowers the inner SELECT with the
+// plan's Trace flag forced on: every participating node records span
+// events and the initiator assembles them into a trace tree (see
+// Node.Trace).
 func ParseSQL(src string, cat Catalog) (*Plan, error) {
 	return sql.Plan(src, cat)
 }
