@@ -35,7 +35,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale runs (slow)")
-	only := flag.String("only", "", "comma-separated subset: adaptive,incast,range,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,rangechaos,churn run only when named here")
+	only := flag.String("only", "", "comma-separated subset: adaptive,incast,range,tuplepath,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,rangechaos,churn run only when named here")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
 	seed := flag.Int64("seed", 1, "seed for the chaos scenario (replays the exact fault schedule)")
 	baselinePath := flag.String("baseline", "",
@@ -109,6 +109,11 @@ func main() {
 	})
 	run("incast", "Initiator incast — per-tuple vs batched+credit result delivery", func() {
 		_, tbl, recs := experiments.Incast(experiments.DefaultIncast(*full))
+		tbl.Print(os.Stdout)
+		records = append(records, recs...)
+	})
+	run("tuplepath", "Tuple path — codec allocs/op and loopback TCP throughput", func() {
+		tbl, recs := experiments.TuplePath(experiments.DefaultTuplePath(*full))
 		tbl.Print(os.Stdout)
 		records = append(records, recs...)
 	})

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sync"
+
+	"pier/internal/env"
+)
+
+// Per-query dispatch sharding.
+//
+// The result channel is the engine's hot path: on a busy initiator
+// every executor in the network funnels result frames at one node, and
+// processing them all on the single transport event loop serializes
+// result drainage behind DHT maintenance, timers, and every other
+// query. The dispatcher routes the two result-channel messages —
+// resultMsg at the collector, creditMsg at the executor — onto a small
+// pool of worker shards keyed by query id, so different queries drain
+// on different cores while each single query keeps strict FIFO order
+// (all of a query's messages hash to the same shard, and a shard runs
+// its queue in arrival order).
+//
+// With one shard the dispatcher runs every task inline on the caller:
+// no goroutines, no queues, byte-for-byte the execution order of the
+// unsharded engine. The simulator relies on this — its determinism
+// contract (same seed, same schedule) only holds when delivery order
+// equals execution order — so sim nodes keep DispatchShards at 1 and
+// only real nodes fan out.
+//
+// Everything a task touches off the event loop is synchronized for it:
+// the engine's exec/collector maps (Engine.mu), each collector's
+// mutable state (collector.mu), each executor's result-channel state
+// (exec.resMu), the query counters (atomics), and the trace histograms
+// and span buffers (internal locks). Observer callbacks still run on
+// the event loop — sharded dispatch Posts them back — because the
+// statistics catalog they feed is event-loop-confined.
+
+// task is one unit of sharded work: exactly one of rm and cm is set.
+// Tasks are passed by value through the shard queues so enqueueing
+// does not allocate.
+type task struct {
+	from env.Addr
+	rm   *resultMsg
+	cm   *creditMsg
+}
+
+// qid returns the query id the task is keyed by; all tasks of one
+// query run on the same shard.
+func (t task) qid() uint64 {
+	if t.rm != nil {
+		return t.rm.ID
+	}
+	return t.cm.ID
+}
+
+// run executes one task. Inbound result frames are owned by the
+// engine on every delivery path — decoded from the wire, loopback
+// self-send, or simulator pointer delivery — so after onResult has
+// consumed one it goes back to the frame pool here.
+func (eng *Engine) runTask(t task) {
+	switch {
+	case t.rm != nil:
+		eng.onResult(t.from, t.rm)
+		t.rm.Recycle()
+	case t.cm != nil:
+		// Grants for queries whose executor already stopped (TTL,
+		// cancel) are simply stale; drop them.
+		eng.mu.Lock()
+		ex := eng.execs[t.cm.ID]
+		eng.mu.Unlock()
+		if ex != nil {
+			ex.onCredit(t.cm.Limit)
+		}
+	}
+}
+
+// dispatcher fans engine tasks out across per-query-keyed worker
+// shards. A nil shard slice means inline mode (see the package
+// comment above).
+type dispatcher struct {
+	eng    *Engine
+	shards []*shardQueue
+	wg     sync.WaitGroup
+}
+
+// shardQueue is one worker's unbounded FIFO. Unbounded is deliberate:
+// the event loop must never block enqueueing (a full bounded queue
+// here, with the shard blocked Post-ing observer work back to the
+// loop, would deadlock the node), and the queue's real bound is the
+// credit window — every sender may have at most ResultCredit tuples
+// in flight per query, so the backlog is capped by flow control, not
+// by the channel.
+type shardQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []task
+	done bool
+}
+
+// newDispatcher starts n worker shards when n > 1; n <= 1 selects
+// inline mode with no goroutines at all.
+func newDispatcher(eng *Engine, n int) *dispatcher {
+	d := &dispatcher{eng: eng}
+	if n <= 1 {
+		return d
+	}
+	d.shards = make([]*shardQueue, n)
+	for i := range d.shards {
+		s := &shardQueue{}
+		s.cond = sync.NewCond(&s.mu)
+		d.shards[i] = s
+		d.wg.Add(1)
+		go d.work(s)
+	}
+	return d
+}
+
+// inline reports whether tasks execute synchronously on the caller.
+func (d *dispatcher) inline() bool { return len(d.shards) == 0 }
+
+// enqueue hands a task to its query's shard, or runs it inline in
+// single-shard mode. Enqueueing after close drops the task (the node
+// is shutting down; the result channel is fire-and-forget anyway).
+func (d *dispatcher) enqueue(t task) {
+	if d.inline() {
+		d.eng.runTask(t)
+		return
+	}
+	s := d.shards[t.qid()%uint64(len(d.shards))]
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.q = append(s.q, t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// work is one shard's run loop: swap the queue out under the lock,
+// run the batch outside it. The swapped-in slice is the previous
+// batch's, so steady-state dispatch does not allocate.
+func (d *dispatcher) work(s *shardQueue) {
+	defer d.wg.Done()
+	var batch []task
+	for {
+		s.mu.Lock()
+		for len(s.q) == 0 && !s.done {
+			s.cond.Wait()
+		}
+		if len(s.q) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		batch, s.q = s.q, batch[:0]
+		s.mu.Unlock()
+		for i := range batch {
+			d.eng.runTask(batch[i])
+			batch[i] = task{} // drop message refs promptly
+		}
+	}
+}
+
+// close drains and stops the shards: queued tasks still run, new ones
+// are dropped, and close returns once every worker has exited.
+func (d *dispatcher) close() {
+	for _, s := range d.shards {
+		s.mu.Lock()
+		s.done = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+	d.wg.Wait()
+}

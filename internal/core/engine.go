@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pier/internal/dht/provider"
@@ -52,6 +54,15 @@ type Config struct {
 	// its own so the channel throttles under loss instead of
 	// deadlocking. 0 picks the default (5s).
 	CreditRefresh time.Duration
+
+	// DispatchShards is how many per-query-keyed worker shards the
+	// engine spreads result and credit message processing across. All
+	// messages of one query run on one shard in FIFO order; different
+	// queries drain concurrently. 0 or 1 processes everything inline
+	// on the transport event loop — the simulator's mode, since its
+	// determinism contract requires execution order to equal delivery
+	// order. Real nodes default to GOMAXPROCS (see pier.StartNode).
+	DispatchShards int
 
 	// TraceSample is the probability that a query whose plan did not
 	// request tracing gets traced anyway (0 disables sampling; plans
@@ -110,6 +121,20 @@ type QueryStats struct {
 	TraceSpanDrops uint64
 }
 
+// queryCounters is the engine's live counter set behind QueryStats.
+// The fields are atomics because dispatch shards increment them off
+// the event loop; Engine.QueryStats snapshots them into the plain
+// exported struct.
+type queryCounters struct {
+	resultBatches  atomic.Uint64
+	resultTuples   atomic.Uint64
+	creditGrants   atomic.Uint64
+	creditStalls   atomic.Uint64
+	bloomFallbacks atomic.Uint64
+	traceSpans     atomic.Uint64
+	traceSpanDrops atomic.Uint64
+}
+
 // ResultFunc receives one output tuple at the query initiator. window is
 // 0 for one-shot queries and the window index for continuous ones.
 type ResultFunc func(t *Tuple, window int)
@@ -126,6 +151,14 @@ type Observer func(p *Plan, window, count int)
 // different nodes interleave — a late window-w straggler can arrive
 // after window w+1 opened.
 type collector struct {
+	// mu guards the mutable fields (counts, maxW, closed, credit,
+	// tuples, and the span accumulator): the query's dispatch shard
+	// mutates them as frames arrive while the event loop closes,
+	// cancels, or reads the collector. fn, plan, start, local, and
+	// traced are set before the collector is published and never
+	// change; contacted is written and read on the event loop only.
+	mu sync.Mutex
+
 	fn     ResultFunc
 	plan   *Plan
 	counts map[int]int
@@ -196,12 +229,20 @@ type Engine struct {
 	prov *provider.Provider
 	cfg  Config
 
+	// mu guards the execs and collectors maps: dispatch shards look
+	// queries up while the event loop registers and removes them.
+	// Entries' own state has finer-grained locks (collector.mu,
+	// exec.resMu); everything outside the result channel still runs
+	// exclusively on the event loop.
+	mu sync.Mutex
+
 	execs      map[uint64]*exec
 	collectors map[uint64]*collector
+	dispatch   *dispatcher
 	obs        Observer
 	ranger     IndexRanger
 	nodeIID    int64
-	qstats     QueryStats
+	qstats     queryCounters
 
 	// cancelled remembers recently cancelled query ids (bounded FIFO):
 	// the cancel and query multicasts are independent best-effort
@@ -252,6 +293,9 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 	if cfg.CreditRefresh <= 0 {
 		cfg.CreditRefresh = 5 * time.Second
 	}
+	if cfg.DispatchShards < 1 {
+		cfg.DispatchShards = 1
+	}
 	if cfg.TraceBuf <= 0 {
 		cfg.TraceBuf = 256
 	}
@@ -275,15 +319,31 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 	for i := range eng.hSpanDur {
 		eng.hSpanDur[i] = trace.NewHistogram(nil)
 	}
+	eng.dispatch = newDispatcher(eng, cfg.DispatchShards)
 	prov.OnMulticast(eng.onMulticast)
 	return eng
 }
+
+// Close stops the dispatch shards, running whatever work is still
+// queued first. Single-shard (inline) engines have no goroutines and
+// Close is a no-op for them, so simulator nodes need not call it.
+func (eng *Engine) Close() { eng.dispatch.close() }
 
 // Provider returns the provider the engine runs over.
 func (eng *Engine) Provider() *provider.Provider { return eng.prov }
 
 // QueryStats snapshots the engine's result-channel counters.
-func (eng *Engine) QueryStats() QueryStats { return eng.qstats }
+func (eng *Engine) QueryStats() QueryStats {
+	return QueryStats{
+		ResultBatches:  eng.qstats.resultBatches.Load(),
+		ResultTuples:   eng.qstats.resultTuples.Load(),
+		CreditGrants:   eng.qstats.creditGrants.Load(),
+		CreditStalls:   eng.qstats.creditStalls.Load(),
+		BloomFallbacks: eng.qstats.bloomFallbacks.Load(),
+		TraceSpans:     eng.qstats.traceSpans.Load(),
+		TraceSpanDrops: eng.qstats.traceSpanDrops.Load(),
+	}
+}
 
 // SetObserver registers the cardinality-feedback sink for queries
 // initiated on this node (nil disables).
@@ -312,7 +372,9 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 		credit: make(map[env.Addr]*senderCredit),
 		traced: traced,
 	}
+	eng.mu.Lock()
 	eng.collectors[id] = c
+	eng.mu.Unlock()
 	// The distributed execution dies at the TTL; drop the collector (and
 	// report the final window) with it.
 	c.ttl = eng.env.After(p.TTL, func() { eng.closeCollector(id) })
@@ -335,7 +397,9 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 // live collector for id existed here (false lets the admin plane answer
 // 404 instead of silently acking an unknown id).
 func (eng *Engine) Cancel(id uint64) bool {
+	eng.mu.Lock()
 	c, ok := eng.collectors[id]
+	eng.mu.Unlock()
 	if !ok {
 		return false
 	}
@@ -353,29 +417,39 @@ func (eng *Engine) Cancel(id uint64) bool {
 // observes the query's end-to-end duration, retains the assembled
 // trace (traced queries), and forgets the query.
 func (eng *Engine) closeCollector(id uint64) {
+	eng.mu.Lock()
 	c, ok := eng.collectors[id]
+	if ok {
+		delete(eng.collectors, id)
+	}
+	eng.mu.Unlock()
 	if !ok {
 		return
 	}
 	c.ttl.Stop()
-	delete(eng.collectors, id)
-	eng.reportWindows(c, c.maxW+1)
 	now := eng.env.Now()
+	c.mu.Lock()
+	reports := c.gatherWindowsLocked(c.maxW + 1)
+	c.mu.Unlock()
+	eng.deliverReports(c.plan, reports)
 	eng.hQueryDur.Observe(now.Sub(c.start).Seconds())
 	if c.traced {
-		eng.recordCollectorSpan(c, trace.Span{
+		c.mu.Lock()
+		eng.recordCollectorSpanLocked(c, trace.Span{
 			Stage: trace.StageCollect,
 			Start: c.start.UnixNano(),
 			Dur:   now.Sub(c.start),
 			Note:  fmt.Sprintf("%d tuples from %d senders", c.tuples, len(c.credit)),
 		})
-		eng.retainTrace(id, eng.assembleTrace(id, c, now.UnixNano()))
+		tr := eng.assembleTraceLocked(id, c, now.UnixNano())
+		c.mu.Unlock()
+		eng.retainTrace(id, tr)
 	}
 }
 
-// assembleTrace builds the causally ordered trace of a traced query
-// from the collector's accumulated spans.
-func (eng *Engine) assembleTrace(id uint64, c *collector, finished int64) *trace.Trace {
+// assembleTraceLocked builds the causally ordered trace of a traced
+// query from the collector's accumulated spans. The caller holds c.mu.
+func (eng *Engine) assembleTraceLocked(id uint64, c *collector, finished int64) *trace.Trace {
 	tr := &trace.Trace{
 		QueryID:  id,
 		Root:     eng.env.Addr(),
@@ -406,11 +480,17 @@ func (eng *Engine) retainTrace(id uint64, tr *trace.Trace) {
 // retained trace of a finished one. ok is false for unknown ids and
 // for queries that were not traced.
 func (eng *Engine) Trace(id uint64) (*trace.Trace, bool) {
-	if c, ok := eng.collectors[id]; ok {
+	eng.mu.Lock()
+	c, live := eng.collectors[id]
+	eng.mu.Unlock()
+	if live {
 		if !c.traced {
 			return nil, false
 		}
-		return eng.assembleTrace(id, c, 0), true
+		c.mu.Lock()
+		tr := eng.assembleTraceLocked(id, c, 0)
+		c.mu.Unlock()
+		return tr, true
 	}
 	if tr, ok := eng.traces[id]; ok {
 		return tr, true
@@ -421,34 +501,41 @@ func (eng *Engine) Trace(id uint64) (*trace.Trace, bool) {
 // recordCollectorSpan records one initiator-side span into the
 // collector's bounded accumulator and its stage histogram.
 func (eng *Engine) recordCollectorSpan(c *collector, s trace.Span) {
+	c.mu.Lock()
+	eng.recordCollectorSpanLocked(c, s)
+	c.mu.Unlock()
+}
+
+// recordCollectorSpanLocked is recordCollectorSpan with c.mu held.
+func (eng *Engine) recordCollectorSpanLocked(c *collector, s trace.Span) {
 	s.Node = eng.env.Addr()
 	s.Seq = c.spanSeq
 	c.spanSeq++
 	eng.hSpanDur[s.Stage].Observe(s.Dur.Seconds())
-	eng.qstats.TraceSpans++
+	eng.qstats.traceSpans.Add(1)
 	if len(c.spans) >= collectorSpanCap {
 		c.spanDrops++
-		eng.qstats.TraceSpanDrops++
+		eng.qstats.traceSpanDrops.Add(1)
 		return
 	}
 	c.spans = append(c.spans, s)
 }
 
-// absorbSpans folds one result frame's piggybacked spans into the
-// collector, bounded by collectorSpanCap, and observes their stage
-// histograms.
-func (eng *Engine) absorbSpans(c *collector, spans []trace.Span, drops uint64) {
+// absorbSpansLocked folds one result frame's piggybacked spans into
+// the collector, bounded by collectorSpanCap, and observes their
+// stage histograms. The caller holds c.mu.
+func (eng *Engine) absorbSpansLocked(c *collector, spans []trace.Span, drops uint64) {
 	c.spanDrops += drops
-	eng.qstats.TraceSpanDrops += drops
+	eng.qstats.traceSpanDrops.Add(drops)
 	for _, s := range spans {
 		if !s.Stage.Valid() || s.Dur < 0 {
 			continue // simulator paths skip the wire codec's validation
 		}
 		eng.hSpanDur[s.Stage].Observe(s.Dur.Seconds())
-		eng.qstats.TraceSpans++
+		eng.qstats.traceSpans.Add(1)
 		if len(c.spans) >= collectorSpanCap {
 			c.spanDrops++
-			eng.qstats.TraceSpanDrops++
+			eng.qstats.traceSpanDrops.Add(1)
 			continue
 		}
 		c.spans = append(c.spans, s)
@@ -475,9 +562,16 @@ func (eng *Engine) SpanDurations() []trace.NamedSnapshot {
 	return out
 }
 
-// reportWindows feeds the observer every counted window below the
-// given bound, exactly once each, in window order.
-func (eng *Engine) reportWindows(c *collector, before int) {
+// windowReport is one closed window's observed cardinality, queued
+// for the observer.
+type windowReport struct {
+	w, n int
+}
+
+// gatherWindowsLocked closes every counted window below the given
+// bound, exactly once each, and returns their cardinalities in window
+// order for delivery to the observer. The caller holds c.mu.
+func (c *collector) gatherWindowsLocked(before int) []windowReport {
 	if before > c.closed {
 		c.closed = before
 	}
@@ -488,23 +582,55 @@ func (eng *Engine) reportWindows(c *collector, before int) {
 		}
 	}
 	sort.Ints(ws)
+	var out []windowReport
 	for _, w := range ws {
 		n := c.counts[w]
 		delete(c.counts, w)
-		if eng.obs != nil && n > 0 {
-			eng.obs(c.plan, w, n)
+		if n > 0 {
+			out = append(out, windowReport{w: w, n: n})
 		}
 	}
+	return out
+}
+
+// deliverReports feeds gathered window cardinalities to the observer.
+// The statistics catalog behind the observer is event-loop-confined,
+// so sharded dispatch Posts the reports back to the loop; inline
+// dispatch calls straight through, preserving the simulator's exact
+// pre-sharding execution order.
+func (eng *Engine) deliverReports(p *Plan, reports []windowReport) {
+	if eng.obs == nil || len(reports) == 0 {
+		return
+	}
+	if eng.dispatch.inline() {
+		for _, r := range reports {
+			eng.obs(p, r.w, r.n)
+		}
+		return
+	}
+	eng.env.Post(func() {
+		for _, r := range reports {
+			eng.obs(p, r.w, r.n)
+		}
+	})
 }
 
 // ActiveExecs returns the number of query executors currently running
 // on this node. The chaos harness's termination invariant asserts it
 // reaches zero once every query's TTL has passed.
-func (eng *Engine) ActiveExecs() int { return len(eng.execs) }
+func (eng *Engine) ActiveExecs() int {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	return len(eng.execs)
+}
 
 // OpenCollectors returns the number of queries initiated on this node
 // whose collectors are still registered (not yet cancelled or expired).
-func (eng *Engine) OpenCollectors() int { return len(eng.collectors) }
+func (eng *Engine) OpenCollectors() int {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	return len(eng.collectors)
+}
 
 // QueryInfo describes one query alive on this node, as surfaced by the
 // admin plane (GET /api/queries) and the daemon shell.
@@ -531,6 +657,8 @@ type QueryInfo struct {
 // entry per id, merging the collector and executor roles — sorted by
 // id for deterministic output.
 func (eng *Engine) LiveQueries() []QueryInfo {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
 	infos := make(map[uint64]*QueryInfo)
 	at := func(id uint64) *QueryInfo {
 		qi := infos[id]
@@ -568,18 +696,17 @@ func (eng *Engine) LiveQueries() []QueryInfo {
 }
 
 // HandleMessage consumes engine messages (results at the initiator,
-// credit grants at executors), returning false for anything else.
+// credit grants at executors), returning false for anything else. The
+// two result-channel messages are not processed here but handed to the
+// query's dispatch shard; with one shard that is an inline call and
+// this behaves exactly as it reads.
 func (eng *Engine) HandleMessage(from env.Addr, m env.Message) bool {
 	switch msg := m.(type) {
 	case *resultMsg:
-		eng.onResult(from, msg)
+		eng.dispatch.enqueue(task{from: from, rm: msg})
 		return true
 	case *creditMsg:
-		// Grants for queries whose executor already stopped (TTL,
-		// cancel) are simply stale; drop them.
-		if ex, ok := eng.execs[msg.ID]; ok {
-			ex.onCredit(msg.Limit)
-		}
+		eng.dispatch.enqueue(task{from: from, cm: msg})
 		return true
 	}
 	return false
@@ -587,35 +714,46 @@ func (eng *Engine) HandleMessage(from env.Addr, m env.Message) bool {
 
 // onResult is the initiator side of the result channel: count the
 // window, drain the tuples into the application callback, and
-// replenish the sender's credit.
+// replenish the sender's credit. It runs on the query's dispatch
+// shard; the application callback is invoked outside the collector
+// lock (per-shard FIFO already serializes it per query) so a callback
+// that re-enters the engine cannot deadlock.
 func (eng *Engine) onResult(from env.Addr, rm *resultMsg) {
+	eng.mu.Lock()
 	c, ok := eng.collectors[rm.ID]
+	eng.mu.Unlock()
 	if !ok {
 		return
 	}
+	now := eng.env.Now()
+	c.mu.Lock()
 	// The window index arrived over the network. Clamp it to what the
 	// plan's Every and the elapsed time allow: a crafted (or buggy)
-	// huge window would otherwise jump c.maxW, and reportWindows would
+	// huge window would otherwise jump c.maxW, and gatherWindows would
 	// permanently close every real window's observer accounting — and
 	// skew the stats catalog's cardinality feedback.
-	if rm.Window < 0 || rm.Window > c.allowedWindow(eng.env.Now()) {
+	if rm.Window < 0 || rm.Window > c.allowedWindow(now) {
+		c.mu.Unlock()
 		return
 	}
 	if rm.Window >= c.closed {
 		c.counts[rm.Window] += len(rm.Tuples)
 	}
+	var reports []windowReport
 	if rm.Window > c.maxW {
 		c.maxW = rm.Window
 		// Windows more than one behind the watermark are closed;
 		// the one-window grace absorbs cross-node stragglers.
-		eng.reportWindows(c, c.maxW-1)
-	}
-	for _, t := range rm.Tuples {
-		c.fn(t, rm.Window)
+		reports = c.gatherWindowsLocked(c.maxW - 1)
 	}
 	c.tuples += uint64(len(rm.Tuples))
 	if c.traced && (len(rm.Spans) > 0 || rm.SpanDrops > 0) {
-		eng.absorbSpans(c, rm.Spans, rm.SpanDrops)
+		eng.absorbSpansLocked(c, rm.Spans, rm.SpanDrops)
+	}
+	c.mu.Unlock()
+	eng.deliverReports(c.plan, reports)
+	for _, t := range rm.Tuples {
+		c.fn(t, rm.Window)
 	}
 	eng.replenishCredit(c, rm.ID, from, len(rm.Tuples))
 }
@@ -632,6 +770,7 @@ func (eng *Engine) replenishCredit(c *collector, id uint64, from env.Addr, n int
 	if w <= 0 || c.local {
 		return
 	}
+	c.mu.Lock()
 	sc := c.credit[from]
 	if sc == nil {
 		sc = &senderCredit{granted: w}
@@ -641,15 +780,20 @@ func (eng *Engine) replenishCredit(c *collector, id uint64, from env.Addr, n int
 	// <= rather than <: with a 1-tuple window w/2 is 0, and headroom
 	// can never drop below it — strictly-less would then never grant
 	// and the sender would trickle one tuple per CreditRefresh.
+	grant := int64(0)
 	if sc.granted-sc.received <= w/2 {
 		sc.granted = sc.received + w
-		eng.qstats.CreditGrants++
-		eng.env.Send(from, &creditMsg{ID: id, Limit: sc.granted})
+		grant = sc.granted
+	}
+	c.mu.Unlock()
+	if grant > 0 {
+		eng.qstats.creditGrants.Add(1)
+		eng.env.Send(from, &creditMsg{ID: id, Limit: grant})
 		if c.traced {
 			eng.recordCollectorSpan(c, trace.Span{
 				Stage: trace.StageCreditGrant,
 				Start: eng.env.Now().UnixNano(),
-				Note:  fmt.Sprintf("%s limit=%d", from, sc.granted),
+				Note:  fmt.Sprintf("%s limit=%d", from, grant),
 			})
 		}
 	}
@@ -661,7 +805,10 @@ func (eng *Engine) onMulticast(origin env.Addr, ns string, payload env.Message) 
 	}
 	switch m := payload.(type) {
 	case *queryMsg:
-		if _, running := eng.execs[m.ID]; running {
+		eng.mu.Lock()
+		_, running := eng.execs[m.ID]
+		eng.mu.Unlock()
+		if running {
 			return
 		}
 		if eng.cancelled[m.ID] {
@@ -674,23 +821,35 @@ func (eng *Engine) onMulticast(origin env.Addr, ns string, payload env.Message) 
 			return
 		}
 		ex := newExec(eng, m)
+		eng.mu.Lock()
 		eng.execs[m.ID] = ex
+		eng.mu.Unlock()
 		ex.start()
 		eng.env.After(m.Plan.TTL, func() {
 			ex.stop()
+			eng.mu.Lock()
 			delete(eng.execs, m.ID)
+			eng.mu.Unlock()
 		})
 	case *bloomDist:
-		if ex, ok := eng.execs[m.ID]; ok {
+		eng.mu.Lock()
+		ex := eng.execs[m.ID]
+		eng.mu.Unlock()
+		if ex != nil {
 			ex.onBloomDist(m)
 		}
 	case *cancelMsg:
 		eng.rememberCancelled(m.ID)
 		// The TTL timer scheduled at query arrival will fire later and
 		// find the exec gone; exec.stop is idempotent either way.
-		if ex, ok := eng.execs[m.ID]; ok {
+		eng.mu.Lock()
+		ex := eng.execs[m.ID]
+		eng.mu.Unlock()
+		if ex != nil {
 			ex.stop()
+			eng.mu.Lock()
 			delete(eng.execs, m.ID)
+			eng.mu.Unlock()
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"pier/internal/core/bloom"
@@ -46,6 +47,12 @@ type exec struct {
 	// short timer) under a credit window, instead of one unicast frame
 	// per tuple — the per-tuple incast melts the initiator's link once
 	// n nodes answer a selective query at once.
+	//
+	// resMu guards all of it: operators emit on the event loop while
+	// credit grants arrive on the query's dispatch shard and resume
+	// the flush from there. With inline dispatch (the simulator) the
+	// lock is uncontended and free of ordering effects.
+	resMu    sync.Mutex
 	resBuf   []resultItem
 	resSent  int64     // result tuples shipped so far
 	resLimit int64     // cumulative credit limit (flow control off: unused)
@@ -185,6 +192,12 @@ func (ex *exec) stop() {
 	if ex.flushStop != nil {
 		ex.flushStop()
 	}
+	// Stop-flush: the executor is going away (cancel or TTL), so any
+	// tuple still buffered would be lost; ship the remainder even past
+	// the credit window. The burst is bounded by the buffer contents,
+	// and a cancelled or expired query's collector is usually already
+	// closed — the frames then drop at the initiator.
+	ex.resMu.Lock()
 	if ex.resFlush != nil {
 		ex.resFlush.Stop()
 		ex.resFlush = nil
@@ -193,19 +206,19 @@ func (ex *exec) stop() {
 		ex.resStall.Stop()
 		ex.resStall = nil
 	}
-	// Stop-flush: the executor is going away (cancel or TTL), so any
-	// tuple still buffered would be lost; ship the remainder even past
-	// the credit window. The burst is bounded by the buffer contents,
-	// and a cancelled or expired query's collector is usually already
-	// closed — the frames then drop at the initiator.
-	ex.flushResults(true)
+	ex.flushResultsLocked(true)
+	ex.resMu.Unlock()
 	// Spans recorded since the last result frame (or by an executor
 	// that produced no results at all) would die with the exec; ship
 	// them in one final zero-tuple frame. Best effort — a cancelled
 	// query's collector is often already closed.
 	if ex.spans != nil && (ex.spans.Len() > 0 || ex.spans.Drops() > 0) {
 		spans, drops := ex.spans.Drain()
-		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: ex.window(), Spans: spans, SpanDrops: drops})
+		rm := getResultMsg()
+		rm.ID = ex.id
+		rm.Window = ex.window()
+		rm.Spans, rm.SpanDrops = spans, drops
+		ex.eng.env.Send(ex.initiator, rm)
 	}
 }
 
@@ -261,47 +274,68 @@ func (ex *exec) emitRow(row *Tuple, window int) {
 func (ex *exec) emit(t *Tuple, window int) {
 	cfg := &ex.eng.cfg
 	if cfg.ResultBatch <= 1 && cfg.ResultCredit <= 0 {
-		ex.eng.qstats.ResultBatches++
-		ex.eng.qstats.ResultTuples++
-		ex.eng.env.Send(ex.initiator, &resultMsg{ID: ex.id, Window: window, Tuples: []*Tuple{t}})
+		ex.eng.qstats.resultBatches.Add(1)
+		ex.eng.qstats.resultTuples.Add(1)
+		rm := getResultMsg()
+		rm.ID = ex.id
+		rm.Window = window
+		rm.Tuples = append(rm.Tuples, t)
+		ex.eng.env.Send(ex.initiator, rm)
 		return
 	}
+	ex.resMu.Lock()
 	if len(ex.resBuf) == 0 {
 		ex.resFirstBuf = ex.eng.env.Now()
 	}
 	ex.resBuf = append(ex.resBuf, resultItem{w: window, t: t})
 	if len(ex.resBuf) >= cfg.ResultBatch {
-		ex.flushResults(false)
+		ex.flushResultsLocked(false)
+		ex.resMu.Unlock()
 		return
 	}
 	if ex.resFlush == nil {
 		ex.resFlush = ex.eng.env.After(cfg.ResultFlushInterval, func() {
+			ex.resMu.Lock()
 			ex.resFlush = nil
 			if !ex.stopped {
-				ex.flushResults(false)
+				ex.flushResultsLocked(false)
 			}
+			ex.resMu.Unlock()
 		})
 	}
+	ex.resMu.Unlock()
 }
 
-// flushResults ships buffered result tuples to the initiator in frames
-// of at most ResultBatch tuples, one window per frame, stopping when
-// the credit window is exhausted (unless force — the stop-flush).
+// flushResults is flushResultsLocked for callers not holding resMu.
 func (ex *exec) flushResults(force bool) {
+	ex.resMu.Lock()
+	ex.flushResultsLocked(force)
+	ex.resMu.Unlock()
+}
+
+// flushResultsLocked ships buffered result tuples to the initiator in
+// frames of at most ResultBatch tuples, one window per frame, stopping
+// when the credit window is exhausted (unless force — the stop-flush).
+// Frames come from the shared pool and their Tuples slices reuse
+// recycled capacity; the buffer keeps its backing array across flush
+// cycles so a steady result stream stops allocating once warm.
+func (ex *exec) flushResultsLocked(force bool) {
 	if ex.resFlush != nil {
 		ex.resFlush.Stop()
 		ex.resFlush = nil
 	}
 	credit := int64(ex.eng.cfg.ResultCredit)
-	for len(ex.resBuf) > 0 {
-		n := len(ex.resBuf)
+	start := 0
+	for start < len(ex.resBuf) {
+		n := len(ex.resBuf) - start
 		if n > ex.eng.cfg.ResultBatch {
 			n = ex.eng.cfg.ResultBatch
 		}
 		if credit > 0 && !force {
 			avail := ex.resLimit - ex.resSent
 			if avail <= 0 {
-				ex.stallResults()
+				ex.compactResBuf(start)
+				ex.stallResultsLocked()
 				return
 			}
 			if int64(n) > avail {
@@ -309,20 +343,21 @@ func (ex *exec) flushResults(force bool) {
 			}
 		}
 		// Frames carry one window each: cut at the first window change.
-		w := ex.resBuf[0].w
+		w := ex.resBuf[start].w
 		k := 1
-		for k < n && ex.resBuf[k].w == w {
+		for k < n && ex.resBuf[start+k].w == w {
 			k++
 		}
-		tuples := make([]*Tuple, k)
+		rm := getResultMsg()
+		rm.ID = ex.id
+		rm.Window = w
 		for i := 0; i < k; i++ {
-			tuples[i] = ex.resBuf[i].t
+			rm.Tuples = append(rm.Tuples, ex.resBuf[start+i].t)
 		}
-		ex.resBuf = ex.resBuf[k:]
+		start += k
 		ex.resSent += int64(k)
-		ex.eng.qstats.ResultBatches++
-		ex.eng.qstats.ResultTuples += uint64(k)
-		rm := &resultMsg{ID: ex.id, Window: w, Tuples: tuples}
+		ex.eng.qstats.resultBatches.Add(1)
+		ex.eng.qstats.resultTuples.Add(uint64(k))
 		if !ex.resFirstBuf.IsZero() {
 			// One observation per flush episode: oldest buffered tuple
 			// to first frame on the wire.
@@ -341,39 +376,55 @@ func (ex *exec) flushResults(force bool) {
 		}
 		ex.eng.env.Send(ex.initiator, rm)
 	}
-	ex.resBuf = nil
+	ex.compactResBuf(start)
 	if ex.resStall != nil {
 		ex.resStall.Stop()
 		ex.resStall = nil
 	}
 }
 
-// stallResults arms the credit stall-refresh: if no grant arrives
-// within CreditRefresh — the grant was lost, the in-flight frames
-// were, or the initiator is gone — the executor re-opens one window on
-// its own and retries. Under sustained loss the channel degrades to
-// one window per refresh period per sender instead of deadlocking; the
-// chaos harness's termination invariant leans on this.
-func (ex *exec) stallResults() {
+// compactResBuf drops the first n (shipped) items, keeping the rest
+// and the backing array for the next burst. Vacated slots are cleared
+// so shipped tuples are not pinned, and an array grown by one giant
+// burst is released rather than retained forever.
+func (ex *exec) compactResBuf(n int) {
+	m := copy(ex.resBuf, ex.resBuf[n:])
+	clear(ex.resBuf[m:])
+	if m == 0 && cap(ex.resBuf) > 4096 {
+		ex.resBuf = nil
+		return
+	}
+	ex.resBuf = ex.resBuf[:m]
+}
+
+// stallResultsLocked arms the credit stall-refresh: if no grant
+// arrives within CreditRefresh — the grant was lost, the in-flight
+// frames were, or the initiator is gone — the executor re-opens one
+// window on its own and retries. Under sustained loss the channel
+// degrades to one window per refresh period per sender instead of
+// deadlocking; the chaos harness's termination invariant leans on
+// this. The caller holds resMu.
+func (ex *exec) stallResultsLocked() {
 	if ex.resStall != nil {
 		return
 	}
-	ex.eng.qstats.CreditStalls++
+	ex.eng.qstats.creditStalls.Add(1)
 	ex.stallStart = ex.eng.env.Now()
 	ex.resStall = ex.eng.env.After(ex.eng.cfg.CreditRefresh, func() {
+		ex.resMu.Lock()
 		ex.resStall = nil
-		if ex.stopped {
-			return
+		if !ex.stopped {
+			ex.endStallLocked("self-refresh")
+			ex.resLimit = ex.resSent + int64(ex.eng.cfg.ResultCredit)
+			ex.flushResultsLocked(false)
 		}
-		ex.endStall("self-refresh")
-		ex.resLimit = ex.resSent + int64(ex.eng.cfg.ResultCredit)
-		ex.flushResults(false)
+		ex.resMu.Unlock()
 	})
 }
 
-// endStall closes the current credit-stall episode with a span
+// endStallLocked closes the current credit-stall episode with a span
 // recording how long the flush waited before how it resumed.
-func (ex *exec) endStall(how string) {
+func (ex *exec) endStallLocked(how string) {
 	if ex.stallStart.IsZero() {
 		return
 	}
@@ -383,8 +434,11 @@ func (ex *exec) endStall(how string) {
 
 // onCredit applies a collector grant. Limits are cumulative, so stale
 // or reordered grants (and anything below a stall self-refresh) are
-// simply ignored.
+// simply ignored. It runs on the query's dispatch shard, concurrent
+// with the event loop's emits.
 func (ex *exec) onCredit(limit int64) {
+	ex.resMu.Lock()
+	defer ex.resMu.Unlock()
 	if limit <= ex.resLimit {
 		return
 	}
@@ -393,8 +447,8 @@ func (ex *exec) onCredit(limit int64) {
 		// We were stalled on this credit; resume immediately.
 		ex.resStall.Stop()
 		ex.resStall = nil
-		ex.endStall("grant")
-		ex.flushResults(false)
+		ex.endStallLocked("grant")
+		ex.flushResultsLocked(false)
 	}
 }
 
@@ -797,7 +851,7 @@ func (ex *exec) emitBloom(side int) {
 		return
 	}
 	if mismatch {
-		ex.eng.qstats.BloomFallbacks++
+		ex.eng.qstats.bloomFallbacks.Add(1)
 		comb = bloom.New(p.BloomBits, p.BloomHashes)
 		comb.Saturate()
 	}

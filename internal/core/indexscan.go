@@ -123,7 +123,10 @@ func (eng *Engine) runIndexQuery(id uint64, p *Plan) {
 			deliver([]*Tuple{out})
 		},
 		func(contacted int) {
-			if c, ok := eng.collectors[id]; ok {
+			eng.mu.Lock()
+			c, ok := eng.collectors[id]
+			eng.mu.Unlock()
+			if ok {
 				c.contacted = contacted
 				if c.traced {
 					eng.recordCollectorSpan(c, trace.Span{
@@ -169,7 +172,9 @@ func (eng *Engine) runIndexQuery(id uint64, p *Plan) {
 // Experiment harnesses compare this against the overlay size a full
 // scan multicasts to.
 func (eng *Engine) IndexContacts(id uint64) (int, bool) {
+	eng.mu.Lock()
 	c, ok := eng.collectors[id]
+	eng.mu.Unlock()
 	if !ok {
 		return 0, false
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/gob"
+	"sync"
 
 	"pier/internal/core/bloom"
 	"pier/internal/env"
@@ -49,6 +50,35 @@ func (m *resultMsg) WireSize() int {
 		n += 5
 	}
 	return n
+}
+
+// resultMsgPool recycles result frames — the highest-volume message in
+// the system. Executors take frames from it in flushResults and the
+// binary codec decodes inbound frames into pooled shells; see Recycle
+// for who returns them.
+var resultMsgPool = sync.Pool{New: func() any { return new(resultMsg) }}
+
+// getResultMsg returns an empty frame, reusing a recycled shell (and
+// its Tuples capacity) when one is available.
+func getResultMsg() *resultMsg { return resultMsgPool.Get().(*resultMsg) }
+
+// Recycle implements env.Recycler: it clears the frame and returns it
+// to the pool. On the outbound path realnet's writer recycles after
+// encoding (the pointer goes no further); on the loopback and inbound
+// paths the engine recycles after onResult consumed the frame. Only the
+// frame shell and its []*Tuple slice are pooled — the tuples themselves
+// may be retained by application callbacks or the DHT store and are
+// left to the garbage collector.
+func (m *resultMsg) Recycle() {
+	for i := range m.Tuples {
+		m.Tuples[i] = nil
+	}
+	tuples := m.Tuples[:0]
+	if cap(tuples) > 4096 {
+		tuples = nil // one giant frame must not pin its slice forever
+	}
+	*m = resultMsg{Tuples: tuples}
+	resultMsgPool.Put(m)
 }
 
 // sideTuple is the rehash payload of the symmetric hash and Bloom joins:

@@ -162,8 +162,17 @@ func CompareValues(a, b Value) int {
 		af, aInt := toFloat(a)
 		bf, bInt := toFloat(b)
 		if aInt && bInt {
+			// Compare directly: ai-bi overflows for operands straddling
+			// ±2^63 (e.g. MinInt64 vs 1) and would invert the order.
 			ai, bi := a.(int64), b.(int64)
-			return sign64(ai - bi)
+			switch {
+			case ai < bi:
+				return -1
+			case ai > bi:
+				return 1
+			default:
+				return 0
+			}
 		}
 		switch {
 		case af < bf:
@@ -203,17 +212,6 @@ func toFloat(v Value) (f float64, isInt bool) {
 }
 
 func sign(x int) int {
-	switch {
-	case x < 0:
-		return -1
-	case x > 0:
-		return 1
-	default:
-		return 0
-	}
-}
-
-func sign64(x int64) int {
 	switch {
 	case x < 0:
 		return -1

@@ -73,11 +73,23 @@ func init() {
 			e.Uvarint(r.SpanDrops)
 		},
 		func(d *wire.Decoder) env.Message {
-			r := &resultMsg{ID: d.Uvarint(), Window: d.Int()}
+			r := getResultMsg()
+			r.ID = d.Uvarint()
+			r.Window = d.Int()
 			if n := d.Len(); n > 0 {
-				r.Tuples = make([]*Tuple, 0, wire.SliceCap(n))
+				// Slab decode: one []Tuple block and one shared []Value
+				// block per frame instead of two allocations per tuple.
+				// Pointers into the slab are taken only after it is fully
+				// built — append may move it while it grows.
+				slab := make([]Tuple, 0, wire.SliceCap(n))
+				vals := make([]Value, 0, wire.SliceCap(4*n))
 				for i := 0; i < n && d.Err() == nil; i++ {
-					r.Tuples = append(r.Tuples, tupleField(d))
+					var t Tuple
+					vals = decodeTupleInto(d, &t, vals)
+					slab = append(slab, t)
+				}
+				for i := range slab {
+					r.Tuples = append(r.Tuples, &slab[i])
 				}
 			}
 			if n := d.Len(); n > 0 {
@@ -183,6 +195,11 @@ func init() {
 				}
 			}
 			t.Pad = d.Int()
+			// Pad is a payload byte count; a crafted negative one yields a
+			// negative WireSize and corrupts pad accounting through Concat.
+			if d.Err() == nil && t.Pad < 0 {
+				d.Fail("negative tuple pad")
+			}
 			return t
 		})
 
@@ -497,6 +514,37 @@ func exprReq(d *wire.Decoder) Expr {
 		d.Fail("missing required expression")
 	}
 	return x
+}
+
+// decodeTupleInto decodes one nested tuple (written with
+// Encoder.Message, as inside a resultMsg) into t, appending its column
+// values to the shared slab vals and returning the extended slab.
+// t.Vals is a capacity-trimmed sub-slice of the slab, so a later append
+// that grows the slab cannot clobber an earlier tuple's columns.
+func decodeTupleInto(d *wire.Decoder, t *Tuple, vals []Value) []Value {
+	if tag := d.Byte(); tag != tagTuple {
+		if d.Err() == nil {
+			if tag == 0 {
+				d.Fail("missing required tuple")
+			} else {
+				d.Fail("message is not a tuple")
+			}
+		}
+		return vals
+	}
+	t.Rel = d.String()
+	if n := d.Len(); n > 0 {
+		start := len(vals)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			vals = append(vals, d.Value())
+		}
+		t.Vals = vals[start:len(vals):len(vals)]
+	}
+	t.Pad = d.Int()
+	if d.Err() == nil && t.Pad < 0 {
+		d.Fail("negative tuple pad")
+	}
+	return vals
 }
 
 func tupleField(d *wire.Decoder) *Tuple {

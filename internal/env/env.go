@@ -34,6 +34,17 @@ type Message interface {
 	WireSize() int
 }
 
+// Recycler is implemented by messages whose backing storage may be
+// returned to a pool once the holder is finished with them. The real
+// transport calls Recycle after serializing an outbound message (the
+// pointer is never delivered anywhere on that path); the engine calls
+// it after consuming an inbound message it owns. The simulator, which
+// delivers pointers, never recycles — the consumer does. A message must
+// be recycled at most once, by whoever held the last reference.
+type Recycler interface {
+	Recycle()
+}
+
 // Timer is a cancellable pending callback.
 type Timer interface {
 	// Stop cancels the timer. It is a no-op if the timer already fired.

@@ -89,6 +89,17 @@ type BenchRecord struct {
 	// measure them.
 	ResultFrames int64 `json:"result_frames,omitempty"`
 	ResultTuples int64 `json:"result_tuples,omitempty"`
+	// AllocsPerOp is the tuplepath scenario's gate metric: heap
+	// allocations per result frame through one codec discipline,
+	// deterministic for a pinned frame shape (measured with GOMAXPROCS
+	// pinned, like testing.AllocsPerRun). Zero for scenarios that do
+	// not measure it.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// TuplesPerSec is the wall-clock tuple rate of the measured path
+	// (codec loop or loopback TCP scan). Like ResultsPerSec it tracks
+	// host load as much as code, so it is recorded for the per-PR
+	// trajectory but never gated.
+	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
 }
 
 // WriteBenchJSON writes records as an indented JSON array (empty array,

@@ -36,9 +36,11 @@ func benchKey(r BenchRecord) string {
 // present on only one side are ignored, so the gate keeps working when
 // scenarios are added or a CI run restricts itself with -only. Cost
 // metrics (traffic bytes, result frames, result tuples, nodes
-// contacted) may not grow past 1+tol of the baseline; the result count
-// (recall) may not shrink below 1-tol. Zero baseline values are
-// skipped — the metric was not measured by that scenario.
+// contacted, allocs per op) may not grow past 1+tol of the baseline;
+// the result count (recall) may not shrink below 1-tol. Zero baseline
+// values are skipped — the metric was not measured by that scenario.
+// Wall-clock rates (results/sec, tuples/sec) are never gated: they
+// track host load, not code.
 func CompareBaseline(baseline, current []BenchRecord, tol float64) (regressions []string, compared int) {
 	base := map[string]BenchRecord{}
 	for _, r := range baseline {
@@ -63,6 +65,10 @@ func CompareBaseline(baseline, current []BenchRecord, tol float64) (regressions 
 		check("result_frames", b.ResultFrames, cur.ResultFrames)
 		check("result_tuples", b.ResultTuples, cur.ResultTuples)
 		check("nodes_contacted", int64(b.NodesContacted), int64(cur.NodesContacted))
+		if b.AllocsPerOp > 0 && cur.AllocsPerOp > b.AllocsPerOp*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf("%s: allocs_per_op %.1f -> %.1f (+%.0f%%, budget %.0f%%)",
+				benchKey(cur), b.AllocsPerOp, cur.AllocsPerOp, 100*(cur.AllocsPerOp/b.AllocsPerOp-1), 100*tol))
+		}
 		if b.Results > 0 && float64(cur.Results) < float64(b.Results)*(1-tol) {
 			regressions = append(regressions, fmt.Sprintf("%s: results %d -> %d (recall regression, budget %.0f%%)",
 				benchKey(cur), b.Results, cur.Results, 100*tol))

@@ -1,0 +1,207 @@
+package experiments
+
+// The tuple-path microbenchmark: the result-frame hot path measured
+// both as a codec loop and end to end. The codec half compares the
+// pre-pooling discipline (every frame Marshal-ed into a fresh buffer,
+// Unmarshal-ed by a fresh un-interned decoder, the shell left for the
+// GC) against the shipping discipline (frames appended to a reused
+// scratch buffer, decoded by a persistent interned decoder into pooled
+// shells that are recycled) in the same process, so the speedup and
+// allocation ratio are free of cross-run noise. The loopback half
+// drives the full stack — emit, batched flush, encode, TCP, decode,
+// dispatch shard, collector callback — through a 2-node real
+// deployment and reports end-to-end tuples/sec.
+//
+// Allocation counts are deterministic for the pinned frame shape and
+// are gated by -baseline; tuple rates are wall-clock and recorded for
+// trajectory only.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pier"
+	"pier/internal/core"
+	"pier/internal/env"
+	"pier/internal/workload"
+)
+
+// TuplePathConfig parameterizes the tuple-path measurement.
+type TuplePathConfig struct {
+	TuplesPerFrame int
+	Frames         int // codec-loop sample size per discipline
+	ScanTuples     int // |S| for the loopback TCP scan
+	Seed           int64
+}
+
+// DefaultTuplePath returns the scaled-down (or full-scale) defaults.
+func DefaultTuplePath(full bool) TuplePathConfig {
+	cfg := TuplePathConfig{TuplesPerFrame: 32, Frames: 4000, ScanTuples: 4000, Seed: 31}
+	if full {
+		cfg.Frames, cfg.ScanTuples = 40000, 20000
+	}
+	return cfg
+}
+
+// TuplePath runs both codec disciplines and the loopback scan, and
+// renders the comparison plus machine-readable records.
+func TuplePath(cfg TuplePathConfig) (*Table, []BenchRecord) {
+	baseline, err := core.MeasureTuplePath(cfg.TuplesPerFrame, cfg.Frames, false)
+	if err != nil {
+		panic(err)
+	}
+	pooled, err := core.MeasureTuplePath(cfg.TuplesPerFrame, cfg.Frames, true)
+	if err != nil {
+		panic(err)
+	}
+	received, expected, last, tps := loopbackScan(cfg)
+
+	allocRatio := 0.0
+	if t := pooled.EncodeAllocs + pooled.DecodeAllocs; t > 0 {
+		allocRatio = (baseline.EncodeAllocs + baseline.DecodeAllocs) / t
+	}
+	decSpeedup := 0.0
+	if pooled.DecodeTuplesPerSec > 0 && baseline.DecodeTuplesPerSec > 0 {
+		decSpeedup = pooled.DecodeTuplesPerSec / baseline.DecodeTuplesPerSec
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Tuple path: codec disciplines (%d-tuple frames) and loopback TCP scan (|S|=%d)",
+			cfg.TuplesPerFrame, cfg.ScanTuples),
+		Note: fmt.Sprintf("allocs per frame round-trip: %.1fx fewer pooled; decode speedup %.1fx (wall-clock, informational)",
+			allocRatio, decSpeedup),
+		Headers: []string{"path", "frame B", "enc allocs/frame", "dec allocs/frame", "enc Mtup/s", "dec Mtup/s"},
+	}
+	var records []BenchRecord
+	for _, c := range []core.TuplePathCost{baseline, pooled} {
+		mode := "marshal-per-frame"
+		if c.Pooled {
+			mode = "pooled+interned"
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			mode, fmt.Sprint(c.FrameBytes),
+			fmt.Sprintf("%.1f", c.EncodeAllocs), fmt.Sprintf("%.1f", c.DecodeAllocs),
+			fmt.Sprintf("%.2f", c.EncodeTuplesPerSec/1e6), fmt.Sprintf("%.2f", c.DecodeTuplesPerSec/1e6),
+		})
+		records = append(records,
+			BenchRecord{
+				Scenario: "tuplepath", Workload: "codec-encode", Strategy: mode,
+				AllocsPerOp: c.EncodeAllocs, TuplesPerSec: c.EncodeTuplesPerSec,
+			},
+			BenchRecord{
+				Scenario: "tuplepath", Workload: "codec-decode", Strategy: mode,
+				AllocsPerOp: c.DecodeAllocs, TuplesPerSec: c.DecodeTuplesPerSec,
+			})
+	}
+
+	tbl.Rows = append(tbl.Rows, []string{
+		"loopback tcp scan", "-", "-", "-", "-",
+		fmt.Sprintf("%.3f", tps/1e6),
+	})
+	rec := BenchRecord{
+		Scenario: "tuplepath", Workload: "loopback-scan", Strategy: "tcp",
+		Nodes: 2, Results: received, Expected: expected,
+		TimeToLastSec: last.Seconds(), TuplesPerSec: tps,
+	}
+	if s := rec.TimeToLastSec; s > 0 {
+		rec.ResultsPerSec = float64(received) / s
+	}
+	records = append(records, rec)
+	return tbl, records
+}
+
+// loopbackScan deploys two real TCP nodes on loopback, loads S across
+// them, and streams a 50%-selective scan back to the initiator.
+func loopbackScan(cfg TuplePathConfig) (received, expected int, last time.Duration, tps float64) {
+	opts := pier.DefaultOptions()
+	first, err := pier.StartNode("127.0.0.1:0", env.NilAddr, cfg.Seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	second, err := pier.StartNode("127.0.0.1:0", first.Addr(), cfg.Seed+1, opts)
+	if err != nil {
+		panic(err)
+	}
+	nodes := []*pier.RealNode{first, second}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	if !second.WaitReady(15 * time.Second) {
+		panic("tuplepath: second node failed to join")
+	}
+
+	// Puts are asynchronous fire-and-forget sends, and the transport
+	// drops frames beyond the per-peer outbox like a congested
+	// datagram network would — so load in chunks, letting the store
+	// absorb each one before issuing the next, and wait for the whole
+	// load before querying.
+	tables := workload.Generate(workload.Config{STuples: cfg.ScanTuples, Seed: cfg.Seed + 9, PadBytes: 64})
+	loadDeadline := time.Now().Add(30 * time.Second)
+	const chunk = 256
+	for off := 0; off < len(tables.S); off += chunk {
+		end := off + chunk
+		if end > len(tables.S) {
+			end = len(tables.S)
+		}
+		for i, s := range tables.S[off:end] {
+			nodes[(off+i)%2].Publish("S", core.ValueString(s.Vals[workload.SPkey]), int64(off+i), s, 10*time.Minute)
+		}
+		for time.Now().Before(loadDeadline) {
+			stored := 0
+			for _, nd := range nodes {
+				nd.Do(func() { stored += nd.Provider().Store().TotalLen() })
+			}
+			if stored >= end {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	_, c2, _ := workload.Constants(0.5, 0.5, 0.5)
+	for _, s := range tables.S {
+		if v, ok := s.Vals[workload.SNum2].(int64); ok && v > c2 {
+			expected++
+		}
+	}
+	plan := &core.Plan{
+		Tables: []core.TableRef{{
+			NS:     "S",
+			Filter: &core.Cmp{Op: core.GT, L: &core.Col{Idx: workload.SNum2}, R: &core.Const{V: c2}},
+			RIDCol: workload.SPkey,
+		}},
+		Output: []core.Expr{&core.Col{Idx: workload.SPkey}, &core.Col{Idx: workload.SNum2}},
+		TTL:    10 * time.Minute,
+	}
+
+	var mu sync.Mutex
+	start := time.Now()
+	id, err := nodes[0].Query(plan, func(*core.Tuple, int) {
+		mu.Lock()
+		received++
+		last = time.Since(start)
+		mu.Unlock()
+	})
+	if err != nil {
+		panic(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		cnt := received
+		mu.Unlock()
+		if cnt >= expected {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	nodes[0].Cancel(id)
+	mu.Lock()
+	defer mu.Unlock()
+	if last > 0 {
+		tps = float64(received) / last.Seconds()
+	}
+	return received, expected, last, tps
+}

@@ -320,6 +320,8 @@ type frameWriter interface {
 	appendFrame(f *frame) (ok bool, err error)
 	buffered() int
 	flush() (bytes int, err error)
+	// release returns pooled buffers; the writer must not be used after.
+	release()
 }
 
 // retainBytes caps how much buffer capacity the per-peer writer and
@@ -337,41 +339,85 @@ func shrink(buf []byte) []byte {
 	return buf[:0]
 }
 
+// bufPool recycles frame buffers across every connection and peer of
+// the process: readers borrow one per inbound frame, writers hold one
+// as their batch buffer and one as their encode scratch. Pointer-shaped
+// entries keep Put allocation-free.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// getBuf borrows a pooled buffer with length n (growing it if the
+// pooled capacity is short).
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putBuf returns a buffer to the pool unless its high-water capacity
+// exceeds retainBytes — one giant frame must not park megabytes in the
+// pool for the lifetime of the process.
+func putBuf(bp *[]byte) {
+	if cap(*bp) > retainBytes {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
 // binaryWriter frames with the wire codec: uvarint payload length, then
-// sender address, then the tagged message.
+// sender address, then the tagged message. Its batch buffer and encode
+// scratch come from bufPool, so short-lived peers do not each grow
+// their own buffers from zero; every frame is encoded into the reused
+// scratch — there is no intermediate Marshal allocation.
 type binaryWriter struct {
-	conn    net.Conn
-	max     int
-	buf     []byte
-	scratch []byte
+	conn     net.Conn
+	max      int
+	bufp     *[]byte // pooled batch buffer
+	scratchp *[]byte // pooled per-frame encode scratch
+}
+
+func newBinaryWriter(conn net.Conn, max int) *binaryWriter {
+	return &binaryWriter{conn: conn, max: max, bufp: getBuf(0), scratchp: getBuf(0)}
 }
 
 func (w *binaryWriter) appendFrame(f *frame) (bool, error) {
-	e := wire.NewEncoder(w.scratch[:0])
+	e := wire.NewEncoder((*w.scratchp)[:0])
 	e.Addr(f.From)
 	e.Message(f.Msg)
 	payload := e.Bytes()
-	w.scratch = shrink(payload) // recycle the buffer for the next frame
+	*w.scratchp = shrink(payload) // recycle the buffer for the next frame
 	if e.Err() != nil {
 		return false, nil // unencodable message: drop the frame, keep the stream
 	}
 	if len(payload) > w.max {
 		return false, nil // oversized: the receiver would reject it anyway
 	}
-	w.buf = binary.AppendUvarint(w.buf, uint64(len(payload)))
-	w.buf = append(w.buf, payload...)
+	*w.bufp = binary.AppendUvarint(*w.bufp, uint64(len(payload)))
+	*w.bufp = append(*w.bufp, payload...)
 	return true, nil
 }
 
-func (w *binaryWriter) buffered() int { return len(w.buf) }
+func (w *binaryWriter) buffered() int { return len(*w.bufp) }
 
 func (w *binaryWriter) flush() (int, error) {
-	if len(w.buf) == 0 {
+	if len(*w.bufp) == 0 {
 		return 0, nil
 	}
-	bytes, err := w.conn.Write(w.buf)
-	w.buf = shrink(w.buf)
+	bytes, err := w.conn.Write(*w.bufp)
+	*w.bufp = shrink(*w.bufp)
 	return bytes, err
+}
+
+func (w *binaryWriter) release() {
+	putBuf(w.bufp)
+	putBuf(w.scratchp)
+	w.bufp, w.scratchp = nil, nil
 }
 
 // gobWriter streams frames through one persistent gob encoder into a
@@ -415,6 +461,8 @@ func (w *gobWriter) flush() (int, error) {
 	return bytes, err
 }
 
+func (w *gobWriter) release() {} // no pooled buffers
+
 type countingWriter struct {
 	w io.Writer
 	n uint64
@@ -430,7 +478,7 @@ func (n *Node) newFrameWriter(conn net.Conn) frameWriter {
 	if n.cfg.Codec == CodecGob {
 		return newGobWriter(conn)
 	}
-	return &binaryWriter{conn: conn, max: n.cfg.MaxFrameBytes}
+	return newBinaryWriter(conn, n.cfg.MaxFrameBytes)
 }
 
 // writer dials the peer and drains its outbound queue into batched
@@ -474,6 +522,7 @@ func (n *Node) writer(to env.Addr, p *peer) {
 	default:
 	}
 	fw := n.newFrameWriter(conn)
+	defer fw.release()
 	for {
 		select {
 		case f := <-p.out:
@@ -514,6 +563,13 @@ func (n *Node) writer(to env.Addr, p *peer) {
 func (n *Node) fillBatch(fw frameWriter, f *frame, p *peer) (frames int, fatal bool) {
 	appendOne := func(f *frame) bool {
 		ok, err := fw.appendFrame(f)
+		// Encoded (or dropped) either way, the writer held the last
+		// reference to the outbound message: this is the recycle point
+		// for pooled messages. The loopback self path never reaches
+		// here — it delivers the pointer, and the consumer recycles.
+		if rec, pooled := f.Msg.(env.Recycler); pooled {
+			rec.Recycle()
+		}
 		if err != nil {
 			// The frame that poisoned the stream is itself discarded;
 			// frames already in the batch are counted by the caller.
@@ -575,9 +631,30 @@ type frameReader interface {
 type binaryReader struct {
 	br  *bufio.Reader
 	max int
-	buf []byte
+	// dec persists across frames so its intern table accumulates the
+	// connection's repeated strings (relation names, namespaces,
+	// addresses) and decodes them allocation-free.
+	dec wire.Decoder
 }
 
+func newBinaryReader(conn net.Conn, max int) *binaryReader {
+	r := &binaryReader{br: bufio.NewReader(conn), max: max}
+	r.dec.SetIntern(wire.NewIntern(0))
+	return r
+}
+
+// readFrame reads and decodes one frame.
+//
+// Buffer ownership rule: the frame buffer is borrowed from bufPool for
+// exactly the duration of this call. io.ReadFull fills it *before* any
+// pool bookkeeping touches it (the previous code shrank the retained
+// buffer while the frame slice still aliased it — harmless when the
+// buffer was private to this connection, a corruption bug now that
+// buffers are shared through a pool), and it goes back to the pool only
+// after decode has detached everything it keeps: String/Value copy or
+// intern, and StringBytes borrowers must wire.Detach anything retained.
+// Nothing in the decoded message aliases the buffer once readFrame
+// returns, so the handler downstream may run at any later time.
 func (r *binaryReader) readFrame() (*frame, int, error) {
 	length, err := binary.ReadUvarint(r.br)
 	if err != nil {
@@ -586,15 +663,14 @@ func (r *binaryReader) readFrame() (*frame, int, error) {
 	if length > uint64(r.max) {
 		return nil, 0, fmt.Errorf("realnet: frame of %d bytes exceeds cap %d", length, r.max)
 	}
-	if uint64(cap(r.buf)) < length {
-		r.buf = make([]byte, length)
-	}
-	buf := r.buf[:length]
-	r.buf = shrink(r.buf) // large frames must not pin capacity forever
+	bp := getBuf(int(length))
+	defer putBuf(bp)
+	buf := *bp
 	if _, err := io.ReadFull(r.br, buf); err != nil {
 		return nil, 0, err
 	}
-	d := wire.NewDecoder(buf)
+	d := &r.dec
+	d.Reset(buf)
 	f := &frame{From: d.Addr()}
 	f.Msg = d.Message()
 	if err := d.Err(); err != nil {
@@ -648,7 +724,7 @@ func (n *Node) newFrameReader(conn net.Conn) frameReader {
 		cr := &countingReader{r: conn}
 		return &gobReader{cr: cr, dec: gob.NewDecoder(bufio.NewReader(cr))}
 	}
-	return &binaryReader{br: bufio.NewReader(conn), max: n.cfg.MaxFrameBytes}
+	return newBinaryReader(conn, n.cfg.MaxFrameBytes)
 }
 
 func (n *Node) accept() {

@@ -33,6 +33,20 @@
 //	120..129 pier/internal/trace (query tracing spans)
 //	200..255 applications and tests
 //
+// # Borrowed decode
+//
+// Decoders on the receive hot path can avoid the copy-per-string cost
+// of the straightforward API. StringBytes returns a sub-slice of the
+// frame buffer ("borrowed": valid only until the transport recycles the
+// buffer, which realnet does as soon as the frame's decode returns);
+// Detach copies a borrowed slice for anything retained past that point.
+// SetIntern installs a bounded deduplication table that makes String
+// (and Value's string case) allocation-free for every string already
+// seen on the connection — relation names, namespaces, and addresses
+// repeat on essentially every frame. Interned strings are ordinary Go
+// strings (string([]byte) copies), so retaining them never aliases a
+// recycled buffer.
+//
 // # Relation to WireSize
 //
 // WireSize() remains the simulator's charging model: it includes
@@ -279,10 +293,11 @@ func (e *Encoder) Message(m env.Message) {
 // varints, truncated input, unknown tags) are sticky: after the first
 // error every read returns a zero value and Err reports the cause.
 type Decoder struct {
-	buf   []byte
-	off   int
-	depth int
-	err   error
+	buf    []byte
+	off    int
+	depth  int
+	err    error
+	intern *Intern
 }
 
 // maxNesting bounds recursive Message decoding: a hostile frame of
@@ -423,16 +438,133 @@ func SliceCap(n int) int {
 	return n
 }
 
-// String reads a length-prefixed string.
+// String reads a length-prefixed string. With an intern table installed
+// (SetIntern) the returned string is the table's canonical copy and the
+// read allocates nothing for strings seen before on this table.
 func (d *Decoder) String() string {
 	n := d.Len()
 	if d.err != nil || n == 0 {
 		return ""
 	}
-	s := string(d.buf[d.off : d.off+n])
+	b := d.buf[d.off : d.off+n]
 	d.off += n
+	if d.intern != nil {
+		return d.intern.Get(b)
+	}
+	return string(b)
+}
+
+// StringBytes reads a length-prefixed string as a borrowed sub-slice of
+// the decode buffer: no copy, no allocation. The slice is valid only as
+// long as the buffer itself — for realnet frames, until the frame's
+// decode returns and the transport recycles the buffer. Decoders must
+// Detach (or string-copy) anything retained beyond that; everything
+// else in this package that returns strings already copies or interns.
+func (d *Decoder) StringBytes() []byte {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
+// Detach copies a borrowed slice (StringBytes) into a fresh allocation
+// that is safe to retain after the frame buffer is recycled.
+func Detach(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// SetIntern installs a string-deduplication table consulted by String
+// (and therefore Addr and Value). Transports install one per connection
+// so repeated strings decode without allocating; pass nil to remove.
+func (d *Decoder) SetIntern(in *Intern) { d.intern = in }
+
+// Reset re-points the decoder at b, clearing offset, error, and nesting
+// depth but keeping the intern table — the per-connection reuse path.
+func (d *Decoder) Reset(b []byte) {
+	d.buf = b
+	d.off = 0
+	d.depth = 0
+	d.err = nil
+}
+
+// internMaxLen bounds the length of strings worth interning: short
+// identifiers (relation names, namespaces, host:port addresses) repeat
+// across frames; long payload strings rarely do and would bloat the
+// table.
+const internMaxLen = 128
+
+// Intern is a bounded string-deduplication table. Lookup by []byte key
+// costs no allocation (the compiler recognizes the string(b) map-index
+// form), so a hit returns the canonical string for free; a miss copies
+// once and remembers the copy until the table fills. An Intern is not
+// goroutine-safe — use one per connection, like the Decoder it feeds.
+type Intern struct {
+	m map[string]string
+	// vals holds the same canonical strings pre-boxed as interface
+	// values: tuple columns are []any, so without this every repeated
+	// string column would still pay one interface allocation per
+	// decode even though the string itself was interned.
+	vals map[string]any
+	max  int
+}
+
+// NewIntern returns a table holding at most max entries (0 means a
+// 4096-entry default). Once full it stops learning but keeps serving
+// hits, so a hostile peer streaming unique strings degrades to the
+// copy-per-string baseline instead of growing memory.
+func NewIntern(max int) *Intern {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Intern{
+		m:    make(map[string]string, 64),
+		vals: make(map[string]any, 64),
+		max:  max,
+	}
+}
+
+// Get returns the canonical string equal to b, learning it if the table
+// has room and b is short enough to be a plausible identifier.
+func (in *Intern) Get(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(s) <= internMaxLen && len(in.m) < in.max {
+		in.m[s] = s
+	}
 	return s
 }
+
+// GetValue returns the canonical string equal to b boxed in an
+// interface value, caching the boxed form so a repeated string column
+// decodes with neither a string copy nor an interface allocation.
+func (in *Intern) GetValue(b []byte) any {
+	if len(b) == 0 {
+		return "" // boxes without allocating (zero-length special case)
+	}
+	if v, ok := in.vals[string(b)]; ok {
+		return v
+	}
+	s := in.Get(b)
+	v := any(s)
+	if len(s) <= internMaxLen && len(in.vals) < in.max {
+		in.vals[s] = v
+	}
+	return v
+}
+
+// Len reports how many strings the table has learned.
+func (in *Intern) Len() int { return len(in.m) }
 
 // Addr reads a node address.
 func (d *Decoder) Addr() env.Addr { return env.Addr(d.String()) }
@@ -462,6 +594,9 @@ func (d *Decoder) Value() any {
 	case valFloat:
 		return d.Float64()
 	case valString:
+		if d.intern != nil {
+			return d.intern.GetValue(d.StringBytes())
+		}
 		return d.String()
 	default:
 		d.Fail(fmt.Sprintf("unknown value tag %d", tag))

@@ -3,6 +3,7 @@ package pier
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"pier/internal/env"
@@ -37,6 +38,12 @@ var ErrJoinTimeout = errors.New("pier: join timed out")
 // is for stabilized simulation experiments.
 func StartNode(addr string, landmark env.Addr, seed int64, opts Options) (*RealNode, error) {
 	opts.ProviderConfig.RobustMulticast = true
+	if opts.EngineConfig.DispatchShards == 0 {
+		// Real nodes spread result-channel processing across the
+		// cores; the simulator keeps the single-shard inline mode its
+		// determinism depends on.
+		opts.EngineConfig.DispatchShards = runtime.GOMAXPROCS(0)
+	}
 	tr, err := realnet.Listen(addr, seed)
 	if err != nil {
 		return nil, err
@@ -83,8 +90,12 @@ func (rn *RealNode) WaitJoin(timeout time.Duration) error {
 		rn.Addr(), rn.landmark, timeout, ErrJoinTimeout)
 }
 
-// Close shuts the transport down.
-func (rn *RealNode) Close() { rn.transport.Close() }
+// Close shuts the transport down, then stops the engine's dispatch
+// shards (transport first, so no new work arrives while they drain).
+func (rn *RealNode) Close() {
+	rn.transport.Close()
+	rn.engine.Close()
+}
 
 // Session implementation: each method shadows the embedded *Node's and
 // runs it on the event loop.
