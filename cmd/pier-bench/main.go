@@ -35,7 +35,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale runs (slow)")
-	only := flag.String("only", "", "comma-separated subset: adaptive,incast,range,tuplepath,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,rangechaos,churn run only when named here")
+	only := flag.String("only", "", "comma-separated subset: adaptive,incast,range,tuplepath,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,rangechaos,flood,churn run only when named here")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
 	seed := flag.Int64("seed", 1, "seed for the chaos scenario (replays the exact fault schedule)")
 	baselinePath := flag.String("baseline", "",
@@ -92,6 +92,16 @@ func main() {
 		run("rangechaos", "Chaos harness — pinned-seed scenario with PHT range queries", func() {
 			rep := experiments.RangeChaosScenario(*seed, *full)
 			rep.Print(os.Stdout)
+			if !rep.AllPass() {
+				chaosFailed = true
+			}
+		})
+	}
+	if want["flood"] {
+		run("flood", "Chaos harness — publish flood against quota-bounded storage", func() {
+			rep, rec := experiments.FloodScenario(*seed, *full)
+			rep.Print(os.Stdout)
+			records = append(records, rec)
 			if !rep.AllPass() {
 				chaosFailed = true
 			}

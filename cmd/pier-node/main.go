@@ -59,6 +59,7 @@ import (
 
 	"pier"
 	"pier/internal/core"
+	"pier/internal/dht/storage"
 	"pier/internal/env"
 	"pier/internal/sql"
 )
@@ -76,6 +77,8 @@ type config struct {
 	DrainTimeout  time.Duration
 	LogFormat     string
 	Debug         bool
+	Quota         int64
+	SpillDir      string
 }
 
 func defaultConfig() config {
@@ -103,6 +106,8 @@ type fileConfig struct {
 	DrainTimeout  *string `json:"drain_timeout"`
 	LogFormat     *string `json:"log_format"`
 	Debug         *bool   `json:"debug"`
+	Quota         *int64  `json:"quota"`
+	SpillDir      *string `json:"spill_dir"`
 }
 
 func loadConfigFile(path string, cfg *config) error {
@@ -136,8 +141,12 @@ func loadConfigFile(path string, cfg *config) error {
 	setStr(&cfg.Join, fc.Join)
 	setStr(&cfg.Admin, fc.Admin)
 	setStr(&cfg.LogFormat, fc.LogFormat)
+	setStr(&cfg.SpillDir, fc.SpillDir)
 	if fc.Debug != nil {
 		cfg.Debug = *fc.Debug
+	}
+	if fc.Quota != nil {
+		cfg.Quota = *fc.Quota
 	}
 	for _, f := range []struct {
 		dst   *time.Duration
@@ -174,6 +183,10 @@ func main() {
 	logFormat := flag.String("log-format", def.LogFormat, "daemon log format: text or json")
 	debug := flag.Bool("debug", def.Debug,
 		"mount net/http/pprof on the admin listener (unauthenticated; off by default)")
+	quota := flag.Int64("quota", def.Quota,
+		"per-namespace soft-state byte quota (0 = unbounded); over-quota namespaces evict and throttle publishers")
+	spillDir := flag.String("spill-dir", def.SpillDir,
+		"directory for the disk-spill tier; quota evictions append to a compacting log there instead of being discarded")
 	flag.Parse()
 
 	cfg := def
@@ -206,6 +219,10 @@ func main() {
 			cfg.LogFormat = *logFormat
 		case "debug":
 			cfg.Debug = *debug
+		case "quota":
+			cfg.Quota = *quota
+		case "spill-dir":
+			cfg.SpillDir = *spillDir
 		}
 	})
 
@@ -223,6 +240,16 @@ func main() {
 
 	opts := pier.DefaultOptions()
 	opts.Stats.Interval = cfg.StatsInterval
+	if cfg.Quota > 0 {
+		opts.ProviderConfig.Quota = storage.BoundedConfig{DefaultQuota: cfg.Quota}
+	}
+	if cfg.SpillDir != "" {
+		if cfg.Quota <= 0 {
+			fmt.Fprintln(os.Stderr, "config: -spill-dir needs -quota; without one nothing ever spills")
+			os.Exit(1)
+		}
+		opts.SpillDir = cfg.SpillDir
+	}
 	node, err := pier.StartNode(cfg.Listen, env.Addr(cfg.Join), time.Now().UnixNano(), opts)
 	if err != nil {
 		logger.Error("node start failed", "err", err)

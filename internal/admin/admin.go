@@ -209,12 +209,19 @@ func (s *Server) handleRouting(w http.ResponseWriter, r *http.Request) {
 // softStateView is the GET /api/softstate projection of the snapshot.
 type softStateView struct {
 	StoredItems int              `json:"stored_items"`
+	StoredBytes int64            `json:"stored_bytes"`
 	Namespaces  []NamespaceCount `json:"namespaces"`
+	Storage     StorageStats     `json:"storage"`
 }
 
 func (s *Server) handleSoftState(w http.ResponseWriter, r *http.Request) {
 	snap := s.b.Snapshot()
-	writeJSON(w, http.StatusOK, softStateView{StoredItems: snap.StoredItems, Namespaces: snap.SoftState})
+	writeJSON(w, http.StatusOK, softStateView{
+		StoredItems: snap.StoredItems,
+		StoredBytes: snap.StoredBytes,
+		Namespaces:  snap.SoftState,
+		Storage:     snap.Storage,
+	})
 }
 
 // indexesView is the GET /api/indexes projection of the snapshot.

@@ -36,16 +36,22 @@ type fakeBackend struct {
 func newFakeBackend() *fakeBackend {
 	return &fakeBackend{
 		snap: Snapshot{
-			Addr:              "127.0.0.1:7001",
-			StartedAt:         time.Unix(1700000000, 0),
-			UptimeSeconds:     12.5,
-			Ready:             true,
-			Neighbors:         []string{"127.0.0.1:7002", "127.0.0.1:7003"},
-			OverlayNodes:      3,
-			HopLatencyMS:      1.25,
-			LookupHops:        1.5,
-			SoftState:         []NamespaceCount{{Namespace: "R", Items: 4}, {Namespace: `we"ird\ns`, Items: 1}},
-			StoredItems:       5,
+			Addr:          "127.0.0.1:7001",
+			StartedAt:     time.Unix(1700000000, 0),
+			UptimeSeconds: 12.5,
+			Ready:         true,
+			Neighbors:     []string{"127.0.0.1:7002", "127.0.0.1:7003"},
+			OverlayNodes:  3,
+			HopLatencyMS:  1.25,
+			LookupHops:    1.5,
+			SoftState:     []NamespaceCount{{Namespace: "R", Items: 4, Bytes: 2048}, {Namespace: `we"ird\ns`, Items: 1, Bytes: 512}},
+			StoredItems:   5,
+			StoredBytes:   2560,
+			Storage: StorageStats{
+				ItemsEvicted: 6, BytesEvicted: 3072,
+				ItemsSpilled: 2, BytesSpilled: 1024, SpilledLiveItems: 1,
+				PutsThrottled: 9, PutsDelayed: 8, PutsDropped: 3,
+			},
 			Indexes:           []IndexInfo{{Name: "r_num1", Table: "R", Col: "num1"}},
 			IndexScans:        7,
 			IndexVisits:       21,
@@ -195,8 +201,16 @@ func TestRoutingSoftStateIndexViews(t *testing.T) {
 
 	var soft map[string]any
 	getJSON(t, srv.URL+"/api/softstate", &soft)
-	if soft["stored_items"].(float64) != 5 {
+	if soft["stored_items"].(float64) != 5 || soft["stored_bytes"].(float64) != 2560 {
 		t.Fatalf("softstate view: %v", soft)
+	}
+	storage := soft["storage"].(map[string]any)
+	if storage["items_evicted"].(float64) != 6 || storage["puts_throttled"].(float64) != 9 {
+		t.Fatalf("softstate storage counters: %v", storage)
+	}
+	ns := soft["namespaces"].([]any)[0].(map[string]any)
+	if ns["bytes"].(float64) != 2048 {
+		t.Fatalf("namespace bytes: %v", ns)
 	}
 
 	var idx map[string]any
@@ -564,6 +578,16 @@ func TestMetricsScrape(t *testing.T) {
 		"pier_overlay_nodes":                  3,
 		"pier_softstate_stored_items":         5,
 		`pier_softstate_items{namespace="R"}`: 4,
+		"pier_softstate_stored_bytes":         2560,
+		`pier_softstate_bytes{namespace="R"}`: 2048,
+		"pier_storage_evictions_total":        6,
+		"pier_storage_evicted_bytes_total":    3072,
+		"pier_storage_spilled_items_total":    2,
+		"pier_storage_spilled_bytes_total":    1024,
+		"pier_storage_spilled_live_items":     1,
+		"pier_storage_puts_throttled_total":   9,
+		"pier_storage_puts_delayed_total":     8,
+		"pier_storage_puts_dropped_total":     3,
 		"pier_catalog_cached_tables":          2,
 		"pier_index_scans_total":              7,
 		"pier_index_visits_total":             21,

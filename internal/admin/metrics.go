@@ -29,7 +29,21 @@ func WriteMetrics(w io.Writer, s Snapshot) {
 	for _, ns := range s.SoftState {
 		m.sample(fmt.Sprintf(`pier_softstate_items{namespace="%s"}`, escapeLabel(ns.Namespace)), float64(ns.Items))
 	}
+	m.typ("pier_softstate_bytes", "In-memory soft-state bytes on this node under the wire-size model, per namespace.", "gauge")
+	for _, ns := range s.SoftState {
+		m.sample(fmt.Sprintf(`pier_softstate_bytes{namespace="%s"}`, escapeLabel(ns.Namespace)), float64(ns.Bytes))
+	}
 	m.gauge("pier_softstate_stored_items", "Live soft-state items stored on this node, all namespaces.", float64(s.StoredItems))
+	m.gauge("pier_softstate_stored_bytes", "In-memory soft-state bytes on this node, all namespaces.", float64(s.StoredBytes))
+
+	m.counter("pier_storage_evictions_total", "Items evicted to hold storage quotas (expiry is not an eviction).", float64(s.Storage.ItemsEvicted))
+	m.counter("pier_storage_evicted_bytes_total", "Bytes evicted to hold storage quotas.", float64(s.Storage.BytesEvicted))
+	m.counter("pier_storage_spilled_items_total", "Evicted items diverted to the disk-spill tier.", float64(s.Storage.ItemsSpilled))
+	m.counter("pier_storage_spilled_bytes_total", "Bytes diverted to the disk-spill tier.", float64(s.Storage.BytesSpilled))
+	m.gauge("pier_storage_spilled_live_items", "Live items currently resident in the disk-spill tier.", float64(s.Storage.SpilledLiveItems))
+	m.counter("pier_storage_puts_throttled_total", "Puts this node bounced with a throttle message (over-quota namespace).", float64(s.Storage.PutsThrottled))
+	m.counter("pier_storage_puts_delayed_total", "Puts this node deferred after a throttle (including self-throttles).", float64(s.Storage.PutsDelayed))
+	m.counter("pier_storage_puts_dropped_total", "Stores whose incoming item was its own eviction victim.", float64(s.Storage.PutsDropped))
 
 	m.gauge("pier_catalog_cached_tables", "Tables with fresh summaries in the statistics catalog's reader cache.", float64(s.CachedStatsTables))
 

@@ -44,9 +44,15 @@ type Snapshot struct {
 	LookupHops   float64 `json:"lookup_hops"`
 
 	// SoftState summarizes the stored soft state per namespace;
-	// StoredItems is the total across namespaces.
+	// StoredItems and StoredBytes are the totals across namespaces
+	// (bytes charged at the wire-size model, memory tier only).
 	SoftState   []NamespaceCount `json:"soft_state"`
 	StoredItems int              `json:"stored_items"`
+	StoredBytes int64            `json:"stored_bytes"`
+
+	// Storage is the soft-state pressure counter family: evictions,
+	// disk spill, and put-path throttling.
+	Storage StorageStats `json:"storage"`
 
 	// Indexes lists the PHT index definitions this node's agent knows;
 	// IndexScans/IndexVisits are the reader's traversal counters.
@@ -142,6 +148,31 @@ type NamespaceCount struct {
 	Namespace string `json:"namespace"`
 	// Items counts live stored items in it on this node.
 	Items int `json:"items"`
+	// Bytes is the namespace's in-memory occupancy under the wire-size
+	// charging model (spilled items excluded).
+	Bytes int64 `json:"bytes"`
+}
+
+// StorageStats is the soft-state pressure counter family: what a
+// quota-bounded node has evicted, spilled to disk, or throttled at the
+// put path. All-zero on unbounded nodes.
+type StorageStats struct {
+	// ItemsEvicted and BytesEvicted count quota evictions (lifetime
+	// expiry is not an eviction).
+	ItemsEvicted int64 `json:"items_evicted"`
+	BytesEvicted int64 `json:"bytes_evicted"`
+	// ItemsSpilled and BytesSpilled count evictions diverted to the
+	// disk tier; SpilledLiveItems is the current on-disk gauge.
+	ItemsSpilled     int64 `json:"items_spilled"`
+	BytesSpilled     int64 `json:"bytes_spilled"`
+	SpilledLiveItems int   `json:"spilled_live_items"`
+	// PutsThrottled counts puts this node bounced with a throttle
+	// message; PutsDelayed counts puts it deferred after being
+	// throttled (or self-throttled); PutsDropped counts stores whose
+	// incoming item was its own eviction victim.
+	PutsThrottled int64 `json:"puts_throttled"`
+	PutsDelayed   int64 `json:"puts_delayed"`
+	PutsDropped   int64 `json:"puts_dropped"`
 }
 
 // IndexInfo describes one PHT index definition.

@@ -27,6 +27,7 @@ import (
 
 	"pier"
 	"pier/internal/core"
+	"pier/internal/dht/storage"
 	"pier/internal/env"
 	"pier/internal/index"
 	"pier/internal/opt"
@@ -109,6 +110,24 @@ type Config struct {
 	// scenarios; zero follows StatsInterval (or 30s when that is off).
 	IndexInterval time.Duration
 
+	// PublishFlood publishes this many extra padded tuples into the hot
+	// namespace FloodNS over the first half of the active phase — a few
+	// hot resource keys, unique instance ids, no renewal — modeling a
+	// misbehaving or misconfigured publisher. The faulted run bounds
+	// FloodNS to FloodQuota bytes per node (the oracle stays unbounded),
+	// so every flood result the bounded run loses is attributable to
+	// eviction: the storage-within-budget invariant probes every live
+	// node's occupancy through the run, flood-backpressure-engaged
+	// requires the put-throttle protocol to have fired, and
+	// flood-recall-vs-evicted bounds the oracle results missing from the
+	// bounded run by the eviction and drop counters. Zero disables the
+	// flood.
+	PublishFlood int
+
+	// FloodQuota is the faulted run's per-node byte quota for FloodNS;
+	// zero with PublishFlood set defaults to 4 KiB.
+	FloodQuota int64
+
 	// TraceQueries forces distributed tracing on every generated
 	// query, so span recording, piggybacked delivery, and trace
 	// assembly run under the same faults as the queries themselves.
@@ -143,6 +162,9 @@ func (c Config) Norm() Config {
 	}
 	if c.QueryEvery == 0 {
 		c.QueryEvery = time.Minute
+	}
+	if c.PublishFlood > 0 && c.FloodQuota == 0 {
+		c.FloodQuota = 4 << 10
 	}
 	return c
 }
@@ -184,6 +206,28 @@ func Default(seed int64) Config {
 	}
 }
 
+// DefaultFlood is the pinned flood-pressure scenario CI smokes: no
+// churn, partitions, or loss — the only "fault" is the per-node byte
+// quota on the flood namespace, so every difference against the
+// unbounded oracle is attributable to eviction and the invariants can
+// hold the byte budget and the forgetting bound exactly, on top of the
+// usual termination, expiry, and replay-determinism checks.
+func DefaultFlood(seed int64) Config {
+	return Config{
+		Nodes:         64,
+		Seed:          seed,
+		STuples:       60,
+		RefreshPeriod: time.Minute,
+		Queries:       4,
+		QueryEvery:    time.Minute,
+		RecallFloor:   0.9,
+		StatsInterval: time.Minute,
+		PublishFlood:  1200,
+		FloodQuota:    4 << 10,
+		VerifyReplay:  true,
+	}
+}
+
 // DefaultRange is the pinned reference scenario with the Prefix Hash
 // Tree in play: the same faults as Default, plus an index over S.num2
 // whose range queries replace part of the scan mix. CI smokes it
@@ -209,6 +253,17 @@ type scenarioResult struct {
 	stats      simnet.Stats
 	channel    core.QueryStats
 	invariants []Invariant
+
+	// Flood-scenario accounting: periodic per-node occupancy probes of
+	// the flood namespace, and the storage/backpressure counters summed
+	// across the nodes alive at the end of the run.
+	budgetProbes     int
+	budgetViolations int
+	budgetPeak       int64
+	floodEvicted     int64
+	floodDropped     int64
+	floodThrottled   int64
+	floodDelayed     int64
 }
 
 // Run executes the scenario: oracle run, faulted run, recall
@@ -252,6 +307,43 @@ func Run(cfg Config) *Report {
 		Pass:   rep.Recall >= cfg.RecallFloor,
 		Detail: fmt.Sprintf("%.1f%% of %d oracle results (floor %.1f%%)", 100*rep.Recall, total, 100*cfg.RecallFloor),
 	})
+
+	if cfg.PublishFlood > 0 && len(oracle.queries) == len(faulted.queries) && len(faulted.queries) > 0 {
+		// The flood scan is the last query of both runs. The bounded run
+		// may only be missing oracle results it evicted or dropped (plus
+		// a small slack for items still mid-throttle-retry at scan time):
+		// quotas forget by eviction, never silently.
+		oracleF := oracle.queries[len(oracle.queries)-1].keys
+		faultF := faulted.queries[len(faulted.queries)-1].keys
+		matched := 0
+		for k := range faultF {
+			if oracleF[k] {
+				matched++
+			}
+		}
+		missing := int64(len(oracleF) - matched)
+		slack := int64(len(oracleF) / 20)
+		if slack < 5 {
+			slack = 5
+		}
+		rep.Flood = &FloodReport{
+			Published:  cfg.PublishFlood,
+			OracleLive: len(oracleF),
+			Matched:    matched,
+			Evicted:    faulted.floodEvicted,
+			Dropped:    faulted.floodDropped,
+			Throttled:  faulted.floodThrottled,
+			Delayed:    faulted.floodDelayed,
+			PeakBytes:  faulted.budgetPeak,
+			Quota:      cfg.FloodQuota,
+		}
+		rep.Invariants = append(rep.Invariants, Invariant{
+			Name: "flood-recall-vs-evicted",
+			Pass: missing <= faulted.floodEvicted+faulted.floodDropped+slack,
+			Detail: fmt.Sprintf("%d of %d oracle flood results missing; %d evicted + %d dropped + %d slack allowed",
+				missing, len(oracleF), faulted.floodEvicted, faulted.floodDropped, slack),
+		})
+	}
 
 	rep.TraceHash = traceHash(faulted.stats, faulted.queries)
 	if cfg.VerifyReplay {
@@ -301,6 +393,15 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 		opts.EngineConfig.TraceBuf = 128
 		opts.EngineConfig.TraceRetain = cfg.Queries + 1
 	}
+	if cfg.PublishFlood > 0 && !faultless {
+		// Only the faulted run is bounded: the oracle's unbounded stores
+		// define what a node with enough memory would have answered, so
+		// the recall gap is exactly the cost of the quota. Backoffs are
+		// deterministic (no jitter), keeping the replay hash stable.
+		opts.ProviderConfig.Quota = storage.BoundedConfig{Quotas: map[string]int64{FloodNS: cfg.FloodQuota}}
+		opts.ProviderConfig.ThrottleRetries = 2
+		opts.ProviderConfig.ThrottleDelay = 2 * time.Second
+	}
 	if cfg.StatsInterval > 0 {
 		opts.Stats.Interval = cfg.StatsInterval
 	}
@@ -346,6 +447,7 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 			panic(err)
 		}
 	}
+	res := &scenarioResult{}
 	teardown := false
 	var renewStops []func()
 	for i, p := range pubs {
@@ -360,6 +462,46 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 				dnode.Renew(p.ns, p.rid, p.iid, p.t, lifetime)
 			}))
 		})
+	}
+
+	if cfg.PublishFlood > 0 {
+		// The flood: padded tuples into a handful of hot keys, spread
+		// over the first half of the active phase, never renewed. The
+		// lifetime outlives the final flood scan but not the teardown
+		// tail, so soft-state-expires still closes the run.
+		floodLifetime := cfg.Duration() + 2*cfg.RefreshPeriod
+		spread := cfg.Duration() / 2
+		for i := 0; i < cfg.PublishFlood; i++ {
+			i := i
+			at := cfg.Warmup + time.Duration(float64(spread)*float64(i)/float64(cfg.PublishFlood))
+			driver.After(at, func() {
+				if teardown {
+					return
+				}
+				t := &core.Tuple{Rel: FloodNS, Vals: []core.Value{int64(i)}, Pad: 200}
+				dnode.Publish(FloodNS, fmt.Sprintf("f%d", i%floodHotKeys), int64(1<<20+i), t, floodLifetime)
+			})
+		}
+		if !faultless {
+			// Budget probes: every live node's flood-namespace occupancy
+			// must stay within the quota at every sample, not just at the
+			// end — eviction must keep up with the flood, not lag it.
+			renewStops = append(renewStops, env.Every(driver, 15*time.Second, func() {
+				for i, n := range sn.Nodes {
+					if !sn.Alive(i) {
+						continue
+					}
+					res.budgetProbes++
+					got := n.Provider().Store().Usage().ByNamespace[FloodNS]
+					if got > res.budgetPeak {
+						res.budgetPeak = got
+					}
+					if got > cfg.FloodQuota {
+						res.budgetViolations++
+					}
+				}
+			}))
+		}
 	}
 
 	// Fault schedule: victims and partition membership are drawn from a
@@ -379,7 +521,6 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 
 	sn.RunFor(cfg.Warmup)
 
-	res := &scenarioResult{}
 	for _, spec := range GenerateQueriesMix(cfg.Queries, cfg.Seed, cfg.RangeQueries) {
 		spec := spec
 		out := queryOutcome{spec: spec, keys: map[string]bool{}}
@@ -396,6 +537,26 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 		} else {
 			sn.RunFor(cfg.QueryEvery)
 		}
+		res.queries = append(res.queries, out)
+	}
+
+	if cfg.PublishFlood > 0 {
+		// The flood scan: a select-all over the flood namespace, run by
+		// both the oracle and the bounded run as their final query. Its
+		// keys feed the flood-recall-vs-evicted comparison and fold into
+		// the replay fingerprint like every other query's.
+		out := queryOutcome{spec: QuerySpec{Kind: QFlood}, keys: map[string]bool{}}
+		plan := &core.Plan{
+			Tables: []core.TableRef{{NS: FloodNS, RIDCol: 0}},
+			Output: []core.Expr{&core.Col{Idx: 0}},
+			TTL:    cfg.QueryEvery,
+		}
+		if cfg.TraceQueries {
+			plan.Trace = true
+		}
+		id, err := dnode.Query(plan, func(t *core.Tuple, w int) { out.keys[out.spec.Key(t, w)] = true })
+		out.id, out.err = id, err
+		sn.RunFor(cfg.QueryEvery)
 		res.queries = append(res.queries, out)
 	}
 
@@ -458,9 +619,32 @@ func runScenario(cfg Config, faultless bool) *scenarioResult {
 			res.channel.CreditGrants += qs.CreditGrants
 			res.channel.CreditStalls += qs.CreditStalls
 			res.channel.BloomFallbacks += qs.BloomFallbacks
+			if cfg.PublishFlood > 0 {
+				ss := n.StorageStats()
+				res.floodEvicted += ss.EvictedByNS[FloodNS]
+				res.floodDropped += ss.PutsDropped
+				res.floodThrottled += ss.PutsThrottled
+				res.floodDelayed += ss.PutsDelayed
+			}
 		}
 	}
 	res.invariants = buildInvariants(sn, res, catalogInv)
+	if cfg.PublishFlood > 0 {
+		res.invariants = append(res.invariants,
+			Invariant{
+				Name: "storage-within-budget",
+				Pass: res.budgetProbes > 0 && res.budgetViolations == 0,
+				Detail: fmt.Sprintf("%d probes, %d over budget, peak %d of %d bytes",
+					res.budgetProbes, res.budgetViolations, res.budgetPeak, cfg.FloodQuota),
+			},
+			Invariant{
+				Name: "flood-backpressure-engaged",
+				Pass: res.floodThrottled > 0 && res.floodDelayed > 0,
+				Detail: fmt.Sprintf("%d puts throttled, %d delayed, %d dropped, %d evicted",
+					res.floodThrottled, res.floodDelayed, res.floodDropped, res.floodEvicted),
+			},
+		)
+	}
 	if cfg.TraceQueries {
 		res.invariants = append(res.invariants, checkTraces(sn, res))
 	}

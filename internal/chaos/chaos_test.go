@@ -166,6 +166,48 @@ func TestChaosTracedPinnedSeed(t *testing.T) {
 	}
 }
 
+// TestChaosFloodPinnedSeed is the flood-pressure acceptance scenario:
+// a publish flood into a few hot keys against quota-bounded nodes,
+// compared to an unbounded oracle of the same seed. The quota must
+// hold at every probe, the backpressure protocol must engage, the
+// bounded run may only be missing results it evicted or dropped, and
+// the whole schedule — deterministic throttle backoffs included —
+// must replay bit-for-bit.
+func TestChaosFloodPinnedSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run chaos scenario is slow")
+	}
+	rep := Run(DefaultFlood(1))
+	rep.Print(os.Stderr)
+	for _, iv := range rep.Failed() {
+		t.Errorf("invariant %s failed: %s", iv.Name, iv.Detail)
+	}
+	names := map[string]bool{}
+	for _, iv := range rep.Invariants {
+		names[iv.Name] = true
+	}
+	for _, want := range []string{"storage-within-budget", "flood-backpressure-engaged",
+		"flood-recall-vs-evicted", "replay-deterministic"} {
+		if !names[want] {
+			t.Errorf("flood scenario reported no %s invariant", want)
+		}
+	}
+	f := rep.Flood
+	if f == nil {
+		t.Fatal("flood scenario left no flood report")
+	}
+	if f.Evicted == 0 || f.Throttled == 0 {
+		t.Errorf("flood never pressured storage: %+v", f)
+	}
+	if f.OracleLive == 0 || f.Matched >= f.OracleLive {
+		t.Errorf("quota did not reduce the flood result set: kept %d of %d", f.Matched, f.OracleLive)
+	}
+	if len(rep.PerQueryRecall) != rep.Cfg.Queries+1 {
+		t.Errorf("recall recorded for %d queries, want %d (mix + flood scan)",
+			len(rep.PerQueryRecall), rep.Cfg.Queries+1)
+	}
+}
+
 // TestChaosChordSmoke runs a lighter scenario over the Chord overlay:
 // the harness must drive both DHTs.
 func TestChaosChordSmoke(t *testing.T) {

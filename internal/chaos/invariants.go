@@ -40,6 +40,33 @@ type Report struct {
 	// end of the faulted run — informational: non-zero stalls show the
 	// loss/partition schedule actually exercised credit refresh.
 	Channel core.QueryStats
+	// Flood summarizes the flood-pressure leg; nil unless the scenario
+	// set Config.PublishFlood.
+	Flood *FloodReport
+}
+
+// FloodReport summarizes a PublishFlood scenario: how much the
+// quota-bounded faulted run forgot versus the unbounded oracle, and
+// what the eviction and backpressure machinery did to hold the budget.
+type FloodReport struct {
+	// Published is the configured flood size. OracleLive is how many
+	// flood results the unbounded oracle's final scan returned; Matched
+	// of them also surfaced in the bounded run's scan.
+	Published  int
+	OracleLive int
+	Matched    int
+	// Evicted and Dropped count the flood namespace's quota evictions
+	// and incoming-item drops summed across live nodes; Throttled and
+	// Delayed count the backpressure protocol's bounces and honored
+	// deferrals.
+	Evicted   int64
+	Dropped   int64
+	Throttled int64
+	Delayed   int64
+	// PeakBytes is the highest per-node flood-namespace occupancy any
+	// budget probe observed; Quota is the configured per-node bound.
+	PeakBytes int64
+	Quota     int64
 }
 
 // AllPass reports whether every invariant held.
@@ -81,6 +108,10 @@ func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "  result channel: frames=%d tuples=%d grants=%d stalls=%d bloom-fallbacks=%d\n",
 		r.Channel.ResultBatches, r.Channel.ResultTuples, r.Channel.CreditGrants,
 		r.Channel.CreditStalls, r.Channel.BloomFallbacks)
+	if f := r.Flood; f != nil {
+		fmt.Fprintf(w, "  flood: %d published, kept %d of %d oracle results; evicted=%d dropped=%d throttled=%d delayed=%d peak=%d/%dB\n",
+			f.Published, f.Matched, f.OracleLive, f.Evicted, f.Dropped, f.Throttled, f.Delayed, f.PeakBytes, f.Quota)
+	}
 }
 
 // traceHash fingerprints a run from its simulator counters and query

@@ -15,6 +15,14 @@ import (
 // S.num2.
 const RangeIndexName = "s_num2"
 
+// FloodNS is the hot namespace a PublishFlood scenario floods.
+const FloodNS = "F"
+
+// floodHotKeys is how many distinct resource keys the flood rotates
+// through — few enough that a handful of owner nodes absorb the whole
+// flood and their quotas come under real pressure.
+const floodHotKeys = 8
+
 // QueryKind classifies one generated workload query.
 type QueryKind int
 
@@ -37,10 +45,15 @@ const (
 	// under the same faults as everything else. Requires the scenario
 	// to have created the index (Config.RangeQueries).
 	QRange
+	// QFlood is the flood scenario's final select-all scan over the
+	// flood namespace. Excluded from the recall floor — a quota-bounded
+	// run legitimately forgets flood items — the flood-recall-vs-evicted
+	// invariant bounds the forgetting by the eviction counters instead.
+	QFlood
 )
 
 func (k QueryKind) String() string {
-	return [...]string{"select", "join", "aggregate", "continuous", "range"}[k]
+	return [...]string{"select", "join", "aggregate", "continuous", "range", "flood"}[k]
 }
 
 // QuerySpec is one deterministic generated query.

@@ -2,17 +2,42 @@ package provider
 
 import (
 	"encoding/gob"
+	"time"
 
 	"pier/internal/dht/storage"
 	"pier/internal/env"
 )
 
 // putMsg carries one item directly to the owner found by a lookup.
+// Attempt counts how many times this put has bounced off a throttling
+// owner; past the provider's bounce bound the owner admits it.
 type putMsg struct {
-	Item *storage.Item
+	Item    *storage.Item
+	Attempt uint8
 }
 
-func (m *putMsg) WireSize() int { return env.HeaderSize + m.Item.WireSize() }
+func (m *putMsg) WireSize() int { return env.HeaderSize + m.Item.WireSize() + 1 }
+
+// maxRetryAfter caps the backoff an owner may impose on a publisher —
+// a clamp against hostile or buggy frames, mirroring the decoder's
+// Attempt bound.
+const maxRetryAfter = 30 * time.Second
+
+// putThrottleMsg is the owner's backpressure answer to a put into an
+// over-quota namespace: the item is returned to the publisher with a
+// retry deadline instead of being stored. Like the result channel's
+// creditMsg it is loss-tolerant — a lost throttle just means the
+// publisher's next renew tries again, and a lost retry means the item
+// expires at the owner it never reached (soft state absorbs both).
+type putThrottleMsg struct {
+	Item       *storage.Item
+	Attempt    uint8
+	RetryAfter time.Duration
+}
+
+func (m *putThrottleMsg) WireSize() int {
+	return env.HeaderSize + m.Item.WireSize() + 1 + 8
+}
 
 // getMsg asks the owner for all items under (NS, RID).
 type getMsg struct {
@@ -64,6 +89,7 @@ func (m *nsPayload) WireSize() int { return env.StringSize(m.NS) + m.Payload.Wir
 
 func init() {
 	gob.Register(&putMsg{})
+	gob.Register(&putThrottleMsg{})
 	gob.Register(&getMsg{})
 	gob.Register(&getReply{})
 	gob.Register(&transferMsg{})

@@ -48,6 +48,28 @@ type Config struct {
 
 	// PutRetryDelay spaces the retries.
 	PutRetryDelay time.Duration
+
+	// Quota bounds the local store with per-namespace byte quotas and
+	// eviction. The zero value keeps the unbounded in-memory manager.
+	Quota storage.BoundedConfig
+
+	// Store injects a pre-built storage backend (e.g. the disk-spill
+	// tier, whose construction can fail and so happens before New).
+	// When set it wins over Quota.
+	Store storage.Store
+
+	// ThrottleRetries bounds how many times a put may bounce off an
+	// over-quota owner before it is stored anyway (the final attempt
+	// always admits — eviction, not refusal, enforces the budget, so
+	// renews keep soft state alive under sustained pressure).
+	// 0 means 2.
+	ThrottleRetries int
+
+	// ThrottleDelay is the base backoff a throttled publisher waits
+	// before resending; attempt k waits (k+1)×ThrottleDelay. The
+	// backoff is deterministic (no jitter) so seeded simulations
+	// replay bit-for-bit. 0 means 2s.
+	ThrottleDelay time.Duration
 }
 
 // DefaultConfig returns sensible defaults.
@@ -60,11 +82,12 @@ func DefaultConfig() Config {
 
 // Provider is the per-node provider layer.
 type Provider struct {
-	env   env.Env
-	rt    dht.Router
-	store *storage.Manager
-	flood *multicast.Flooder
-	cfg   Config
+	env      env.Env
+	rt       dht.Router
+	store    storage.Store
+	pressure storage.PressureReporter // non-nil when the store reports it
+	flood    *multicast.Flooder
+	cfg      Config
 
 	nonce       uint64
 	pendingGets map[uint64]*pendingGet
@@ -77,6 +100,10 @@ type Provider struct {
 	expiryTimer   env.Timer
 	expiryAt      time.Time
 	handoffQueued bool
+
+	putsThrottled  int64
+	putsDelayed    int64
+	throttledUntil map[string]time.Time
 }
 
 type pendingGet struct {
@@ -93,25 +120,62 @@ func New(e env.Env, rt dht.Router, cfg Config) *Provider {
 	if cfg.HandoffDelay <= 0 {
 		cfg.HandoffDelay = 100 * time.Millisecond
 	}
-	p := &Provider{
-		env:         e,
-		rt:          rt,
-		store:       storage.New(e.Now),
-		flood:       multicast.New(e, rt),
-		cfg:         cfg,
-		pendingGets: make(map[uint64]*pendingGet),
-		newData:     make(map[string]map[int]func(*storage.Item)),
-		onMcast:     make(map[int]func(env.Addr, string, env.Message)),
+	if cfg.ThrottleRetries <= 0 {
+		cfg.ThrottleRetries = 2
 	}
+	if cfg.ThrottleDelay <= 0 {
+		cfg.ThrottleDelay = 2 * time.Second
+	}
+	st := cfg.Store
+	if st == nil {
+		if cfg.Quota.Enabled() {
+			st = storage.NewBounded(e.Now, cfg.Quota)
+		} else {
+			st = storage.New(e.Now)
+		}
+	}
+	p := &Provider{
+		env:            e,
+		rt:             rt,
+		store:          st,
+		flood:          multicast.New(e, rt),
+		cfg:            cfg,
+		pendingGets:    make(map[uint64]*pendingGet),
+		newData:        make(map[string]map[int]func(*storage.Item)),
+		onMcast:        make(map[int]func(env.Addr, string, env.Message)),
+		throttledUntil: make(map[string]time.Time),
+	}
+	p.pressure, _ = st.(storage.PressureReporter)
 	p.flood.SetRobust(cfg.RobustMulticast)
 	p.flood.OnDeliver(p.deliverMulticast)
 	rt.OnLocationMapChange(p.scheduleHandoff)
 	return p
 }
 
-// Store returns the underlying storage manager (read-mostly access for
+// Store returns the underlying storage backend (read-mostly access for
 // tests and stats).
-func (p *Provider) Store() *storage.Manager { return p.store }
+func (p *Provider) Store() storage.Store { return p.store }
+
+// StorageStats are the provider's soft-state pressure counters: the
+// store's eviction/spill totals plus the put-path throttle counts.
+type StorageStats struct {
+	storage.Stats
+	// PutsThrottled counts puts this node answered with a throttle
+	// message instead of storing (owner side).
+	PutsThrottled int64
+	// PutsDelayed counts puts this node deferred after receiving a
+	// throttle, or self-throttled on a local store (publisher side).
+	PutsDelayed int64
+}
+
+// StorageStats reports the node's storage pressure counters.
+func (p *Provider) StorageStats() StorageStats {
+	return StorageStats{
+		Stats:         p.store.Stats(),
+		PutsThrottled: p.putsThrottled,
+		PutsDelayed:   p.putsDelayed,
+	}
+}
 
 // Router returns the underlying routing layer.
 func (p *Provider) Router() dht.Router { return p.rt }
@@ -133,12 +197,32 @@ func (p *Provider) Put(ns, rid string, iid int64, payload env.Message, lifetime 
 	if lifetime > 0 {
 		it.Expires = p.env.Now().Add(lifetime)
 	}
-	p.putItem(it, p.cfg.PutRetries)
+	p.putItem(it, p.cfg.PutRetries, 0)
 }
 
-func (p *Provider) putItem(it *storage.Item, retries int) {
+func (p *Provider) putItem(it *storage.Item, retries int, attempt uint8) {
+	// A namespace recently throttled by its owner defers fresh puts
+	// until the announced deadline, so one publisher doesn't hammer an
+	// over-quota owner with every new tuple.
+	if attempt == 0 {
+		if until, ok := p.throttledUntil[it.Namespace]; ok {
+			if wait := until.Sub(p.env.Now()); wait > 0 {
+				p.putsDelayed++
+				p.env.After(wait, func() { p.putItem(it, retries, 1) })
+				return
+			}
+			delete(p.throttledUntil, it.Namespace)
+		}
+	}
 	k := it.Key()
 	if p.rt.Owns(k) {
+		// Local stores self-throttle with the same bounded backoff a
+		// remote owner would impose, then admit unconditionally.
+		if attempt < p.maxBounces() && p.pressure != nil && p.pressure.OverHighWater(it.Namespace) {
+			p.putsDelayed++
+			p.env.After(p.throttleBackoff(attempt), func() { p.putItem(it, retries, attempt+1) })
+			return
+		}
 		p.StoreLocal(it)
 		return
 	}
@@ -152,12 +236,28 @@ func (p *Provider) putItem(it *storage.Item, retries int) {
 				if delay <= 0 {
 					delay = 2 * time.Second
 				}
-				p.env.After(delay, func() { p.putItem(it, retries-1) })
+				p.env.After(delay, func() { p.putItem(it, retries-1, attempt) })
 			}
 			return
 		}
-		p.env.Send(owner, &putMsg{Item: it})
+		p.env.Send(owner, &putMsg{Item: it, Attempt: attempt})
 	})
+}
+
+// maxBounces is how many times a put may be throttled before it is
+// admitted regardless of pressure.
+func (p *Provider) maxBounces() uint8 {
+	r := p.cfg.ThrottleRetries
+	if r > 60 {
+		r = 60 // putMsg.Attempt caps at the codec's validation bound
+	}
+	return uint8(r)
+}
+
+// throttleBackoff spaces throttle retries: deterministic linear
+// backoff, no jitter, so seeded simulations replay exactly.
+func (p *Provider) throttleBackoff(attempt uint8) time.Duration {
+	return time.Duration(attempt+1) * p.cfg.ThrottleDelay
 }
 
 // Renew re-puts the item with a fresh lifetime, keeping it live
@@ -297,7 +397,9 @@ func (p *Provider) HandleMessage(from env.Addr, m env.Message) bool {
 	}
 	switch msg := m.(type) {
 	case *putMsg:
-		p.StoreLocal(msg.Item)
+		p.onPut(from, msg)
+	case *putThrottleMsg:
+		p.onThrottle(msg)
 	case *getMsg:
 		p.onGet(msg)
 	case *getReply:
@@ -314,6 +416,41 @@ func (p *Provider) HandleMessage(from env.Addr, m env.Message) bool {
 		return false
 	}
 	return true
+}
+
+// onPut admits an incoming put, or bounces it back with a throttle
+// when the target namespace is past its high-water mark. A put that
+// has already bounced maxBounces times is always admitted: the quota
+// is enforced by eviction, not refusal, so renews keep soft state
+// alive under sustained pressure.
+func (p *Provider) onPut(from env.Addr, m *putMsg) {
+	ns := m.Item.Namespace
+	if m.Attempt < p.maxBounces() && p.pressure != nil && p.pressure.OverHighWater(ns) {
+		p.putsThrottled++
+		p.env.Send(from, &putThrottleMsg{
+			Item:       m.Item,
+			Attempt:    m.Attempt + 1,
+			RetryAfter: p.throttleBackoff(m.Attempt),
+		})
+		return
+	}
+	p.StoreLocal(m.Item)
+}
+
+// onThrottle honors an owner's backpressure signal: remember the
+// namespace's retry deadline (fresh puts defer to it) and reschedule
+// the bounced item.
+func (p *Provider) onThrottle(m *putThrottleMsg) {
+	ra := m.RetryAfter
+	if ra > maxRetryAfter {
+		ra = maxRetryAfter // clamp hostile/buggy senders
+	}
+	until := p.env.Now().Add(ra)
+	if cur, ok := p.throttledUntil[m.Item.Namespace]; !ok || until.After(cur) {
+		p.throttledUntil[m.Item.Namespace] = until
+	}
+	p.putsDelayed++
+	p.env.After(ra, func() { p.putItem(m.Item, p.cfg.PutRetries, m.Attempt) })
 }
 
 func (p *Provider) onGet(m *getMsg) {

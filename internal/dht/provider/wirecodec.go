@@ -15,15 +15,42 @@ const (
 	tagGetReply
 	tagTransferMsg
 	tagNSPayload
+	tagPutThrottleMsg
 )
+
+// maxPutAttempt bounds the Attempt counter a frame may carry; anything
+// larger is a hostile or corrupt frame (providers bounce at most a
+// handful of times).
+const maxPutAttempt = 64
 
 func init() {
 	wire.Register(tagPutMsg, &putMsg{},
 		func(e *wire.Encoder, m env.Message) {
-			e.Message(m.(*putMsg).Item)
+			p := m.(*putMsg)
+			e.Message(p.Item)
+			e.Uvarint(uint64(p.Attempt))
 		},
 		func(d *wire.Decoder) env.Message {
-			return &putMsg{Item: requiredItem(d)}
+			return &putMsg{Item: requiredItem(d), Attempt: putAttempt(d)}
+		})
+
+	wire.Register(tagPutThrottleMsg, &putThrottleMsg{},
+		func(e *wire.Encoder, m env.Message) {
+			t := m.(*putThrottleMsg)
+			e.Message(t.Item)
+			e.Uvarint(uint64(t.Attempt))
+			e.Duration(t.RetryAfter)
+		},
+		func(d *wire.Decoder) env.Message {
+			t := &putThrottleMsg{
+				Item:       requiredItem(d),
+				Attempt:    putAttempt(d),
+				RetryAfter: d.Duration(),
+			}
+			if t.RetryAfter < 0 && d.Err() == nil {
+				d.Fail("negative throttle retry-after")
+			}
+			return t
 		})
 
 	wire.Register(tagGetMsg, &getMsg{},
@@ -97,6 +124,17 @@ func init() {
 			}
 			return p
 		})
+}
+
+// putAttempt decodes and bounds the bounce counter shared by putMsg
+// and putThrottleMsg.
+func putAttempt(d *wire.Decoder) uint8 {
+	n := d.Uvarint()
+	if n >= maxPutAttempt {
+		d.Fail("put attempt counter out of range")
+		return 0
+	}
+	return uint8(n)
 }
 
 // requiredItem rejects frames whose handlers would nil-deref a missing

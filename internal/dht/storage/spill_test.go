@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spillItem builds an item with the wire-registered test payload so it
+// can round-trip through the spill log.
+func spillItem(ns, rid string, iid int64, pad int, exp time.Time) *Item {
+	return &Item{Namespace: ns, ResourceID: rid, InstanceID: iid,
+		Payload: &itemPayload{S: strings.Repeat("x", pad)}, Expires: exp}
+}
+
+func newTestSpill(t *testing.T, cfg BoundedConfig, dir string) (*Spill, *clock) {
+	t.Helper()
+	c := &clock{t: time.Unix(0, 0)}
+	s, err := NewSpill(c.now, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, c
+}
+
+// smallQuota returns a quota fitting exactly n items of the given pad
+// whose resourceIDs are ridLen characters long.
+func smallQuota(n, pad, ridLen int) int64 {
+	return int64(n * spillItem("f", strings.Repeat("0", ridLen), 0, pad, time.Time{}).WireSize())
+}
+
+func TestSpillOverflowsToDiskAndMerges(t *testing.T) {
+	cfg := BoundedConfig{Quotas: map[string]int64{"f": smallQuota(2, 40, 1)}}
+	s, c := newTestSpill(t, cfg, t.TempDir())
+	for i := int64(0); i < 5; i++ {
+		s.Store(spillItem("f", fmt.Sprint(i), i, 40, c.t.Add(time.Hour)))
+	}
+	// Memory holds 2, disk holds 3; every item is still readable.
+	if got := s.Usage().ByNamespace["f"]; got > smallQuota(2, 40, 1) {
+		t.Fatalf("memory usage %d exceeds quota", got)
+	}
+	if s.TotalLen() != 5 {
+		t.Fatalf("TotalLen = %d, want 5 across both tiers", s.TotalLen())
+	}
+	for i := int64(0); i < 5; i++ {
+		got := s.Retrieve("f", fmt.Sprint(i))
+		if len(got) != 1 || got[0].InstanceID != i {
+			t.Fatalf("item %d: Retrieve = %v", i, got)
+		}
+	}
+	st := s.Stats()
+	if st.ItemsSpilled != 3 || st.SpilledLive != 3 || st.BytesSpilled == 0 {
+		t.Fatalf("stats = %+v, want 3 spilled", st)
+	}
+	var order []string
+	s.Scan("f", func(it *Item) bool {
+		order = append(order, it.ResourceID)
+		return true
+	})
+	if fmt.Sprint(order) != fmt.Sprint([]string{"0", "1", "2", "3", "4"}) {
+		t.Fatalf("merged scan order = %v", order)
+	}
+}
+
+func TestSpillRenewPromotesBackToMemory(t *testing.T) {
+	cfg := BoundedConfig{Quotas: map[string]int64{"f": smallQuota(2, 40, 1)}}
+	s, c := newTestSpill(t, cfg, t.TempDir())
+	for i := int64(0); i < 4; i++ {
+		s.Store(spillItem("f", fmt.Sprint(i), i, 40, c.t.Add(time.Hour)))
+	}
+	spilledBefore := s.Stats().SpilledLive
+	if spilledBefore == 0 {
+		t.Fatal("nothing spilled; test is vacuous")
+	}
+	// Item 0 was evicted first (oldest). Renewing it must land the
+	// fresh copy in memory and tombstone the disk copy — with exactly
+	// one instance visible afterwards.
+	s.Store(spillItem("f", "0", 0, 40, c.t.Add(2*time.Hour)))
+	got := s.Retrieve("f", "0")
+	if len(got) != 1 || !got[0].Expires.Equal(c.t.Add(2*time.Hour)) {
+		t.Fatalf("after renew: %v", got)
+	}
+	inMem := false
+	s.b.Scan("f", func(it *Item) bool {
+		if it.ResourceID == "0" {
+			inMem = true
+		}
+		return true
+	})
+	if !inMem {
+		t.Fatal("renewed item not promoted to the memory tier")
+	}
+	if s.TotalLen() != 4 {
+		t.Fatalf("TotalLen = %d, want 4 (no duplicate across tiers)", s.TotalLen())
+	}
+}
+
+func TestSpillExpiry(t *testing.T) {
+	cfg := BoundedConfig{Quotas: map[string]int64{"f": smallQuota(1, 40, 4)}}
+	s, c := newTestSpill(t, cfg, t.TempDir())
+	s.Store(spillItem("f", "soon", 1, 40, c.t.Add(time.Minute)))
+	s.Store(spillItem("f", "late", 2, 40, c.t.Add(time.Hour)))
+	// "soon" (nearest expiry) was evicted to disk; NextExpiry must
+	// still see it.
+	at, ok := s.NextExpiry()
+	if !ok || !at.Equal(c.t.Add(time.Minute)) {
+		t.Fatalf("NextExpiry = %v,%v, want the spilled item's 1min", at, ok)
+	}
+	c.t = c.t.Add(5 * time.Minute)
+	swept := s.SweepExpired()
+	if len(swept) != 1 || swept[0].ResourceID != "soon" {
+		t.Fatalf("sweep = %v, want the spilled item", swept)
+	}
+	if s.Stats().SpilledLive != 0 {
+		t.Fatalf("expired spill ref not released: %+v", s.Stats())
+	}
+	if s.TotalLen() != 1 {
+		t.Fatalf("TotalLen = %d, want 1", s.TotalLen())
+	}
+}
+
+func TestSpillRestartReloadsAndDropsExpired(t *testing.T) {
+	dir := t.TempDir()
+	cfg := BoundedConfig{Quotas: map[string]int64{"f": smallQuota(1, 40, 4)}}
+	c := &clock{t: time.Unix(0, 0)}
+	s, err := NewSpill(c.now, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Store(spillItem("f", "dies", 1, 40, c.t.Add(time.Minute)))
+	s.Store(spillItem("f", "livs", 2, 40, c.t.Add(time.Hour)))
+	s.Store(spillItem("f", "memx", 3, 40, c.t.Add(time.Hour)))
+	// "dies" and "livs" are on disk; "mem" is in memory and is LOST
+	// on restart (memory is soft state; only the spill log persists).
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.t = c.t.Add(10 * time.Minute) // "dies" expires while down
+	s2, err := NewSpill(c.now, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Retrieve("f", "livs"); len(got) != 1 || got[0].InstanceID != 2 {
+		t.Fatalf("surviving spilled item not reloaded: %v", got)
+	}
+	if p, ok := got0(s2.Retrieve("f", "livs")); ok && p.Payload.WireSize() != 4+40 {
+		t.Fatalf("payload lost on reload: %+v", p)
+	}
+	if got := s2.Retrieve("f", "dies"); len(got) != 0 {
+		t.Fatalf("item that expired while down came back: %v", got)
+	}
+	if got := s2.Retrieve("f", "memx"); len(got) != 0 {
+		t.Fatalf("memory-tier item persisted across restart: %v", got)
+	}
+	if s2.Stats().SpilledLive != 1 {
+		t.Fatalf("SpilledLive = %d, want 1", s2.Stats().SpilledLive)
+	}
+}
+
+func got0(items []*Item) (*Item, bool) {
+	if len(items) == 0 {
+		return nil, false
+	}
+	return items[0], true
+}
+
+func TestSpillRemoveReachesDiskTier(t *testing.T) {
+	cfg := BoundedConfig{Quotas: map[string]int64{"f": smallQuota(1, 40, 1)}}
+	s, c := newTestSpill(t, cfg, t.TempDir())
+	s.Store(spillItem("f", "a", 1, 40, c.t.Add(time.Hour)))
+	s.Store(spillItem("f", "b", 2, 40, c.t.Add(2*time.Hour)))
+	// "a" spilled. Remove must find it on disk.
+	if !s.Remove("f", "a", 1) {
+		t.Fatal("Remove missed the spilled item")
+	}
+	if s.Remove("f", "a", 1) {
+		t.Fatal("double remove reported success")
+	}
+	if s.TotalLen() != 1 || s.Stats().SpilledLive != 0 {
+		t.Fatalf("TotalLen=%d SpilledLive=%d", s.TotalLen(), s.Stats().SpilledLive)
+	}
+}
+
+func TestSpillCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := BoundedConfig{Quotas: map[string]int64{"f": smallQuota(1, 200, 1)}}
+	s, c := newTestSpill(t, cfg, dir)
+	// Churn the same identities so the log accumulates dead records.
+	for round := 0; round < 30; round++ {
+		for i := int64(0); i < 4; i++ {
+			s.Store(spillItem("f", fmt.Sprint(i), i, 200, c.t.Add(time.Hour)))
+		}
+	}
+	path := filepath.Join(dir, spillLogName)
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before.Size(), after.Size())
+	}
+	// Every identity still resolves, from whichever tier holds it.
+	for i := int64(0); i < 4; i++ {
+		if got := s.Retrieve("f", fmt.Sprint(i)); len(got) != 1 {
+			t.Fatalf("item %d lost by compaction: %v", i, got)
+		}
+	}
+	if s.deadBytes != 0 {
+		t.Fatalf("deadBytes = %d after compact, want 0", s.deadBytes)
+	}
+}

@@ -39,18 +39,26 @@ func (it *Item) WireSize() int {
 	return n
 }
 
-// Manager is the per-node storage manager. It is not safe for concurrent
-// use; PIER nodes are single-threaded event processors.
+// Manager is the per-node storage manager: the unbounded in-memory
+// Store implementation. It is not internally synchronized — see the
+// Store interface for the locking contract (event-loop confinement;
+// the engine's sharded result dispatch never touches storage).
 type Manager struct {
-	now    func() time.Time
-	spaces map[string]map[string]map[int64]*Item
-	exp    expHeap
-	count  int
+	now     func() time.Time
+	spaces  map[string]map[string]map[int64]*Item
+	exp     expHeap
+	count   int
+	bytes   int64
+	nsBytes map[string]int64
 }
 
 // New creates a storage manager that reads the clock through now.
 func New(now func() time.Time) *Manager {
-	return &Manager{now: now, spaces: make(map[string]map[string]map[int64]*Item)}
+	return &Manager{
+		now:     now,
+		spaces:  make(map[string]map[string]map[int64]*Item),
+		nsBytes: make(map[string]int64),
+	}
 }
 
 // Store inserts the item, replacing any existing item with the same
@@ -68,10 +76,13 @@ func (m *Manager) Store(it *Item) {
 		rid = make(map[int64]*Item)
 		ns[it.ResourceID] = rid
 	}
-	if _, existed := rid[it.InstanceID]; !existed {
+	if old, existed := rid[it.InstanceID]; existed {
+		m.charge(it.Namespace, -int64(old.WireSize()))
+	} else {
 		m.count++
 	}
 	rid[it.InstanceID] = it
+	m.charge(it.Namespace, int64(it.WireSize()))
 	if !it.Expires.IsZero() {
 		heap.Push(&m.exp, expEntry{at: it.Expires, it: it})
 	}
@@ -111,11 +122,13 @@ func (m *Manager) Remove(namespace, resourceID string, instanceID int64) bool {
 	if rid == nil {
 		return false
 	}
-	if _, ok := rid[instanceID]; !ok {
+	it, ok := rid[instanceID]
+	if !ok {
 		return false
 	}
 	delete(rid, instanceID)
 	m.count--
+	m.charge(namespace, -int64(it.WireSize()))
 	if len(rid) == 0 {
 		delete(ns, resourceID)
 	}
@@ -193,6 +206,41 @@ func (m *Manager) Len(namespace string) int {
 
 // TotalLen returns the number of items across all namespaces.
 func (m *Manager) TotalLen() int { return m.count }
+
+// Usage reports in-memory byte occupancy (charged at Item.WireSize),
+// maintained incrementally on every store/replace/remove.
+func (m *Manager) Usage() Usage {
+	by := make(map[string]int64, len(m.nsBytes))
+	for ns, b := range m.nsBytes {
+		by[ns] = b
+	}
+	return Usage{Bytes: m.bytes, ByNamespace: by}
+}
+
+// Stats reports eviction counters. The unbounded manager never evicts,
+// so they are always zero.
+func (m *Manager) Stats() Stats { return Stats{} }
+
+// charge adjusts the byte accounting for a namespace by delta.
+func (m *Manager) charge(namespace string, delta int64) {
+	m.bytes += delta
+	b := m.nsBytes[namespace] + delta
+	if b == 0 {
+		delete(m.nsBytes, namespace)
+	} else {
+		m.nsBytes[namespace] = b
+	}
+}
+
+// get returns the stored item with the exact identity, ignoring expiry.
+func (m *Manager) get(namespace, resourceID string, instanceID int64) (*Item, bool) {
+	rid := m.spaces[namespace][resourceID]
+	if rid == nil {
+		return nil, false
+	}
+	it, ok := rid[instanceID]
+	return it, ok
+}
 
 // NextExpiry reports the earliest pending expiry time, if any.
 func (m *Manager) NextExpiry() (time.Time, bool) {

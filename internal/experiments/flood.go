@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pier/internal/chaos"
+)
+
+// FloodScenario runs the pinned-seed publish-flood scenario: a hot
+// namespace flooded far past a per-node byte quota, with the unbounded
+// oracle run defining what a node with enough memory would answer. The
+// report carries the quota, backpressure, and forgetting invariants;
+// the record feeds the -baseline gate with two deterministic metrics —
+// Results (flood results the bounded run kept; may not shrink) and
+// TrafficBytes (the faulted run's total simulated traffic; may not
+// grow).
+func FloodScenario(seed int64, full bool) (*chaos.Report, BenchRecord) {
+	cfg := chaos.DefaultFlood(seed)
+	if full {
+		cfg.Nodes = 128
+		cfg.PublishFlood = 3000
+	}
+	rep := chaos.Run(cfg)
+	rec := BenchRecord{
+		Scenario:     "flood",
+		Workload:     fmt.Sprintf("publish=%d quota=%d", cfg.PublishFlood, cfg.FloodQuota),
+		Strategy:     "bounded",
+		Nodes:        cfg.Nodes,
+		TrafficBytes: rep.Stats.Bytes,
+	}
+	if rep.Flood != nil {
+		rec.Results = rep.Flood.Matched
+		rec.Expected = rep.Flood.OracleLive
+	}
+	return rep, rec
+}

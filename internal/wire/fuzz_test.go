@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"encoding/binary"
 	"testing"
 	"time"
 
@@ -66,6 +67,16 @@ func FuzzDecode(f *testing.F) {
 	for _, tag := range wire.Registered() {
 		f.Add([]byte{tag})
 		f.Add(append([]byte{tag}, 0x01, 0x80, 0x80, 0x01, 0xff, 0x00, 0x02))
+	}
+	// A hand-built putThrottleMsg frame (tag 38, provider backpressure):
+	// the provider's message types are unexported, so the only way to
+	// seed a fully-valid frame — item, attempt counter, retry-after —
+	// is to lay out the bytes directly.
+	if itemBytes, err := wire.Marshal(fuzzSeedMessages()[2]); err == nil {
+		throttle := append([]byte{38}, itemBytes...)
+		throttle = append(throttle, 1)                                 // attempt
+		throttle = binary.AppendVarint(throttle, int64(2*time.Second)) // retry-after
+		f.Add(throttle)
 	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		m, err := wire.Unmarshal(b)

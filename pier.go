@@ -120,6 +120,14 @@ type Options struct {
 	// lookups and accept entries; set Index.Interval to enable the
 	// periodic split/merge/heal pass that keeps them balanced).
 	Index index.Config
+	// SpillDir, when non-empty, backs the quota-bounded store with a
+	// disk-spill tier rooted at this directory: quota evictions append
+	// to a compacting log instead of being discarded, and reads merge
+	// both tiers. Real nodes only (StartNode); simulated networks
+	// ignore it — the simulator's byte-charging model counts memory.
+	// Pair it with ProviderConfig.Quota, which defines the pressure the
+	// spill tier absorbs.
+	SpillDir string
 }
 
 // DefaultOptions returns the paper's simulation defaults.
@@ -202,6 +210,18 @@ func (n *Node) Stats() *stats.Catalog { return n.stats }
 // re-probe the deployment. Useful to warm a catalog without waiting for
 // the periodic loop.
 func (n *Node) RefreshStats() { n.stats.Refresh() }
+
+// StorageStats is a node's soft-state pressure counter family: quota
+// evictions, disk spill, and put-path throttling. All-zero on nodes
+// without a storage quota. See Node.StorageStats.
+type StorageStats = provider.StorageStats
+
+// StorageStats reports this node's storage pressure counters: items
+// and bytes evicted to hold namespace quotas, items diverted to the
+// disk-spill tier, and puts throttled, delayed, or dropped by the
+// put-path admission control. Counters are monotone; diff two
+// snapshots to attribute pressure to a workload.
+func (n *Node) StorageStats() StorageStats { return n.provider.StorageStats() }
 
 // QueryStats reports the node engine's result-channel counters:
 // result frames and tuples shipped toward initiators, credit grants

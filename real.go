@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"pier/internal/dht/storage"
 	"pier/internal/env"
 	"pier/internal/realnet"
 )
@@ -47,6 +48,14 @@ func StartNode(addr string, landmark env.Addr, seed int64, opts Options) (*RealN
 	tr, err := realnet.Listen(addr, seed)
 	if err != nil {
 		return nil, err
+	}
+	if opts.SpillDir != "" && opts.ProviderConfig.Store == nil {
+		sp, err := storage.NewSpill(tr.Now, opts.ProviderConfig.Quota, opts.SpillDir)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		opts.ProviderConfig.Store = sp
 	}
 	n := buildNode(tr, opts)
 	rn := &RealNode{Node: n, transport: tr, landmark: landmark}
@@ -91,10 +100,15 @@ func (rn *RealNode) WaitJoin(timeout time.Duration) error {
 }
 
 // Close shuts the transport down, then stops the engine's dispatch
-// shards (transport first, so no new work arrives while they drain).
+// shards (transport first, so no new work arrives while they drain)
+// and closes the disk-spill store if one is attached (after the
+// transport, so no event-loop callback can touch the log mid-close).
 func (rn *RealNode) Close() {
 	rn.transport.Close()
 	rn.engine.Close()
+	if c, ok := rn.provider.Store().(interface{ Close() error }); ok {
+		_ = c.Close()
+	}
 }
 
 // Session implementation: each method shadows the embedded *Node's and
@@ -191,6 +205,14 @@ func (rn *RealNode) QueryStats() QueryStats {
 	var qs QueryStats
 	rn.Do(func() { qs = rn.Node.QueryStats() })
 	return qs
+}
+
+// StorageStats snapshots the node's storage pressure counters from the
+// event loop. See Node.StorageStats.
+func (rn *RealNode) StorageStats() StorageStats {
+	var ss StorageStats
+	rn.Do(func() { ss = rn.Node.StorageStats() })
+	return ss
 }
 
 // RefreshStats runs one catalog maintenance tick from the event loop.

@@ -54,10 +54,27 @@ func (n *Node) Snapshot() Snapshot {
 	snap.HopLatencyMS = float64(net.HopLatency.Microseconds()) / 1e3
 	snap.LookupHops = net.LookupHops
 	store := n.provider.Store()
+	usage := store.Usage()
 	for _, ns := range store.Namespaces() {
-		snap.SoftState = append(snap.SoftState, NamespaceCount{Namespace: ns, Items: store.Len(ns)})
+		snap.SoftState = append(snap.SoftState, NamespaceCount{
+			Namespace: ns,
+			Items:     store.Len(ns),
+			Bytes:     usage.ByNamespace[ns],
+		})
 	}
 	snap.StoredItems = store.TotalLen()
+	snap.StoredBytes = usage.Bytes
+	ss := n.StorageStats()
+	snap.Storage = admin.StorageStats{
+		ItemsEvicted:     ss.ItemsEvicted,
+		BytesEvicted:     ss.BytesEvicted,
+		ItemsSpilled:     ss.ItemsSpilled,
+		BytesSpilled:     ss.BytesSpilled,
+		SpilledLiveItems: ss.SpilledLive,
+		PutsThrottled:    ss.PutsThrottled,
+		PutsDelayed:      ss.PutsDelayed,
+		PutsDropped:      ss.PutsDropped,
+	}
 	for _, d := range n.indexes.AllDefs() {
 		snap.Indexes = append(snap.Indexes, IndexInfo{Name: d.Name, Table: d.Table, Col: d.Col})
 	}
