@@ -35,7 +35,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale runs (slow)")
-	only := flag.String("only", "", "comma-separated subset: adaptive,incast,range,tuplepath,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,rangechaos,flood,churn run only when named here")
+	only := flag.String("only", "", "comma-separated subset: adaptive,incast,range,tuplepath,s53,fig3,table4,fig45,fig6,fig7,fig8,candims,chord; chaos,rangechaos,flood,churn,simscale,fig3xl,churnxl run only when named here")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
 	seed := flag.Int64("seed", 1, "seed for the chaos scenario (replays the exact fault schedule)")
 	baselinePath := flag.String("baseline", "",
@@ -110,6 +110,25 @@ func main() {
 	if want["churn"] {
 		run("churn", "Chaos churn matrix — recall vs churn with rejoin", func() {
 			experiments.ChurnMatrix(experiments.DefaultChurnMatrix(*full)).Print(os.Stdout)
+		})
+	}
+	// The scale scenarios also run only when named: they build 100k+
+	// node simulations (gigabyte-class heaps, minutes of wall clock).
+	if want["simscale"] {
+		run("simscale", "Simulation core at scale — heap per node and event throughput", func() {
+			tbl, recs := experiments.SimScale(experiments.DefaultSimScale(*full))
+			tbl.Print(os.Stdout)
+			records = append(records, recs...)
+		})
+	}
+	if want["fig3xl"] {
+		run("fig3xl", "Figure 3 at n=100k — scalability beyond paper scale", func() {
+			experiments.Scalability(experiments.XLScalability()).Print(os.Stdout)
+		})
+	}
+	if want["churnxl"] {
+		run("churnxl", "Churn matrix point at n=100k", func() {
+			experiments.ChurnMatrix(experiments.XLChurnMatrix(*seed)).Print(os.Stdout)
 		})
 	}
 	run("adaptive", "Adaptive planner vs fixed join strategies", func() {

@@ -796,7 +796,7 @@ func buildInvariants(sn *pier.SimNetwork, res *scenarioResult, catalogInv *Invar
 		Detail: fmt.Sprintf("%d items still stored on live nodes", items),
 	})
 
-	stats := sn.Net.Stats()
+	stats := sn.Net.Totals()
 	invs = append(invs, Invariant{
 		Name:   "no-delivery-to-dead",
 		Pass:   stats.DeliveredToDead == 0,

@@ -32,7 +32,7 @@ func TestShardedDispatchKeepsPerQueryFIFO(t *testing.T) {
 	got := make(map[uint64][]int64)
 	for q := uint64(1); q <= queries; q++ {
 		qid := q
-		eng.collectors[qid] = &collector{
+		eng.putCollector(qid, &collector{
 			fn: func(tu *Tuple, w int) {
 				seq := tu.Vals[0].(int64)
 				mu.Lock()
@@ -43,7 +43,7 @@ func TestShardedDispatchKeepsPerQueryFIFO(t *testing.T) {
 			counts: make(map[int]int),
 			credit: make(map[env.Addr]*senderCredit),
 			start:  se.Now(),
-		}
+		})
 	}
 
 	// One producer, like the transport event loop: frames for all
@@ -91,13 +91,13 @@ func TestInlineDispatchRunsOnCaller(t *testing.T) {
 	}
 
 	ran := false
-	eng.collectors[3] = &collector{
+	eng.putCollector(3, &collector{
 		fn:     func(*Tuple, int) { ran = true },
 		plan:   &Plan{},
 		counts: make(map[int]int),
 		credit: make(map[env.Addr]*senderCredit),
 		start:  se.Now(),
-	}
+	})
 	rm := getResultMsg()
 	rm.ID = 3
 	rm.Tuples = append(rm.Tuples, &Tuple{Rel: "r", Vals: []Value{int64(0)}})
@@ -122,7 +122,7 @@ func TestDispatchCloseDrains(t *testing.T) {
 
 	var mu sync.Mutex
 	n := 0
-	eng.collectors[1] = &collector{
+	eng.putCollector(1, &collector{
 		fn: func(*Tuple, int) {
 			mu.Lock()
 			n++
@@ -133,7 +133,7 @@ func TestDispatchCloseDrains(t *testing.T) {
 		counts: make(map[int]int),
 		credit: make(map[env.Addr]*senderCredit),
 		start:  se.Now(),
-	}
+	})
 	for i := 0; i < 50; i++ {
 		rm := getResultMsg()
 		rm.ID = 1

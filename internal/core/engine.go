@@ -260,7 +260,11 @@ type Engine struct {
 	// Latency histograms, observed for every query (tracing not
 	// required): end-to-end query duration at collector close, result
 	// flush latency at the executors, and per-stage span durations as
-	// traced spans reach collectors.
+	// traced spans reach collectors. All are allocated lazily behind
+	// histMu — a simulated node that never runs a query pays nothing
+	// for them (the full set is ~2.5KB, the single largest fixed cost
+	// per node at 100k-node scale).
+	histMu    sync.Mutex
 	hQueryDur *trace.Histogram
 	hFlushLat *trace.Histogram
 	hSpanDur  []*trace.Histogram
@@ -303,21 +307,15 @@ func New(e env.Env, prov *provider.Provider, cfg Config) *Engine {
 		cfg.TraceRetain = 16
 	}
 	h := sha1.Sum([]byte(e.Addr()))
+	// The maps (execs, collectors, cancelled, traces) and the latency
+	// histograms are all allocated lazily at first insert/observe: on
+	// most simulated nodes most of them stay nil forever, and nil maps
+	// are free to read from.
 	eng := &Engine{
-		env:        e,
-		prov:       prov,
-		cfg:        cfg,
-		execs:      make(map[uint64]*exec),
-		collectors: make(map[uint64]*collector),
-		cancelled:  make(map[uint64]bool),
-		traces:     make(map[uint64]*trace.Trace),
-		nodeIID:    int64(binary.BigEndian.Uint64(h[:8]) >> 1),
-		hQueryDur:  trace.NewHistogram(nil),
-		hFlushLat:  trace.NewHistogram(nil),
-		hSpanDur:   make([]*trace.Histogram, trace.NumStages),
-	}
-	for i := range eng.hSpanDur {
-		eng.hSpanDur[i] = trace.NewHistogram(nil)
+		env:     e,
+		prov:    prov,
+		cfg:     cfg,
+		nodeIID: int64(binary.BigEndian.Uint64(h[:8]) >> 1),
 	}
 	eng.dispatch = newDispatcher(eng, cfg.DispatchShards)
 	prov.OnMulticast(eng.onMulticast)
@@ -372,9 +370,7 @@ func (eng *Engine) Run(p *Plan, onResult ResultFunc) (uint64, error) {
 		credit: make(map[env.Addr]*senderCredit),
 		traced: traced,
 	}
-	eng.mu.Lock()
-	eng.collectors[id] = c
-	eng.mu.Unlock()
+	eng.putCollector(id, c)
 	// The distributed execution dies at the TTL; drop the collector (and
 	// report the final window) with it.
 	c.ttl = eng.env.After(p.TTL, func() { eng.closeCollector(id) })
@@ -413,6 +409,17 @@ func (eng *Engine) Cancel(id uint64) bool {
 	return true
 }
 
+// putCollector registers a query's collector, allocating the map on
+// first use.
+func (eng *Engine) putCollector(id uint64, c *collector) {
+	eng.mu.Lock()
+	if eng.collectors == nil {
+		eng.collectors = make(map[uint64]*collector)
+	}
+	eng.collectors[id] = c
+	eng.mu.Unlock()
+}
+
 // closeCollector reports every still-open window to the observer,
 // observes the query's end-to-end duration, retains the assembled
 // trace (traced queries), and forgets the query.
@@ -432,7 +439,7 @@ func (eng *Engine) closeCollector(id uint64) {
 	reports := c.gatherWindowsLocked(c.maxW + 1)
 	c.mu.Unlock()
 	eng.deliverReports(c.plan, reports)
-	eng.hQueryDur.Observe(now.Sub(c.start).Seconds())
+	eng.queryDurHist().Observe(now.Sub(c.start).Seconds())
 	if c.traced {
 		c.mu.Lock()
 		eng.recordCollectorSpanLocked(c, trace.Span{
@@ -465,6 +472,9 @@ func (eng *Engine) assembleTraceLocked(id uint64, c *collector, finished int64) 
 // retainTrace keeps a finished trace retrievable, evicting the oldest
 // past the TraceRetain bound.
 func (eng *Engine) retainTrace(id uint64, tr *trace.Trace) {
+	if eng.traces == nil {
+		eng.traces = make(map[uint64]*trace.Trace)
+	}
 	if _, ok := eng.traces[id]; !ok {
 		eng.traceOrder = append(eng.traceOrder, id)
 		if len(eng.traceOrder) > eng.cfg.TraceRetain {
@@ -511,7 +521,7 @@ func (eng *Engine) recordCollectorSpanLocked(c *collector, s trace.Span) {
 	s.Node = eng.env.Addr()
 	s.Seq = c.spanSeq
 	c.spanSeq++
-	eng.hSpanDur[s.Stage].Observe(s.Dur.Seconds())
+	eng.spanDurHist(s.Stage).Observe(s.Dur.Seconds())
 	eng.qstats.traceSpans.Add(1)
 	if len(c.spans) >= collectorSpanCap {
 		c.spanDrops++
@@ -531,7 +541,7 @@ func (eng *Engine) absorbSpansLocked(c *collector, spans []trace.Span, drops uin
 		if !s.Stage.Valid() || s.Dur < 0 {
 			continue // simulator paths skip the wire codec's validation
 		}
-		eng.hSpanDur[s.Stage].Observe(s.Dur.Seconds())
+		eng.spanDurHist(s.Stage).Observe(s.Dur.Seconds())
 		eng.qstats.traceSpans.Add(1)
 		if len(c.spans) >= collectorSpanCap {
 			c.spanDrops++
@@ -542,22 +552,88 @@ func (eng *Engine) absorbSpansLocked(c *collector, spans []trace.Span, drops uin
 	}
 }
 
+// queryDurHist returns the end-to-end query duration histogram,
+// allocating it on first use.
+func (eng *Engine) queryDurHist() *trace.Histogram {
+	eng.histMu.Lock()
+	if eng.hQueryDur == nil {
+		eng.hQueryDur = trace.NewHistogram(nil)
+	}
+	h := eng.hQueryDur
+	eng.histMu.Unlock()
+	return h
+}
+
+// flushLatHist returns the result flush latency histogram, allocating
+// it on first use. Dispatch shards and the event loop both observe it.
+func (eng *Engine) flushLatHist() *trace.Histogram {
+	eng.histMu.Lock()
+	if eng.hFlushLat == nil {
+		eng.hFlushLat = trace.NewHistogram(nil)
+	}
+	h := eng.hFlushLat
+	eng.histMu.Unlock()
+	return h
+}
+
+// spanDurHist returns the duration histogram of one trace stage,
+// allocating the slice and the stage's histogram on first use.
+func (eng *Engine) spanDurHist(stage trace.Stage) *trace.Histogram {
+	eng.histMu.Lock()
+	if eng.hSpanDur == nil {
+		eng.hSpanDur = make([]*trace.Histogram, trace.NumStages)
+	}
+	h := eng.hSpanDur[stage]
+	if h == nil {
+		h = trace.NewHistogram(nil)
+		eng.hSpanDur[stage] = h
+	}
+	eng.histMu.Unlock()
+	return h
+}
+
 // QueryDurations snapshots the end-to-end query duration histogram
 // (observed at collector close for every query initiated here).
-func (eng *Engine) QueryDurations() trace.HistogramSnapshot { return eng.hQueryDur.Snapshot() }
+func (eng *Engine) QueryDurations() trace.HistogramSnapshot {
+	eng.histMu.Lock()
+	h := eng.hQueryDur
+	eng.histMu.Unlock()
+	if h == nil {
+		return trace.NewHistogram(nil).Snapshot()
+	}
+	return h.Snapshot()
+}
 
 // FlushLatencies snapshots the result flush latency histogram
 // (observed at this node's executors: first tuple buffered to frame
 // shipped).
-func (eng *Engine) FlushLatencies() trace.HistogramSnapshot { return eng.hFlushLat.Snapshot() }
+func (eng *Engine) FlushLatencies() trace.HistogramSnapshot {
+	eng.histMu.Lock()
+	h := eng.hFlushLat
+	eng.histMu.Unlock()
+	if h == nil {
+		return trace.NewHistogram(nil).Snapshot()
+	}
+	return h.Snapshot()
+}
 
 // SpanDurations snapshots the per-stage span duration histograms, in
 // stage order (observed as traced spans reach this node's collectors).
+// Stages never observed render as empty histograms, so the /metrics
+// export always carries the full stage set.
 func (eng *Engine) SpanDurations() []trace.NamedSnapshot {
 	names := trace.StageNames()
+	hists := make([]*trace.Histogram, len(names))
+	eng.histMu.Lock()
+	copy(hists, eng.hSpanDur)
+	eng.histMu.Unlock()
 	out := make([]trace.NamedSnapshot, len(names))
 	for i, name := range names {
-		out[i] = trace.NamedSnapshot{Name: name, Hist: eng.hSpanDur[i].Snapshot()}
+		if hists[i] == nil {
+			out[i] = trace.NamedSnapshot{Name: name, Hist: trace.NewHistogram(nil).Snapshot()}
+			continue
+		}
+		out[i] = trace.NamedSnapshot{Name: name, Hist: hists[i].Snapshot()}
 	}
 	return out
 }
@@ -822,6 +898,9 @@ func (eng *Engine) onMulticast(origin env.Addr, ns string, payload env.Message) 
 		}
 		ex := newExec(eng, m)
 		eng.mu.Lock()
+		if eng.execs == nil {
+			eng.execs = make(map[uint64]*exec)
+		}
 		eng.execs[m.ID] = ex
 		eng.mu.Unlock()
 		ex.start()
@@ -859,6 +938,9 @@ func (eng *Engine) onMulticast(origin env.Addr, ns string, payload env.Message) 
 func (eng *Engine) rememberCancelled(id uint64) {
 	if eng.cancelled[id] {
 		return
+	}
+	if eng.cancelled == nil {
+		eng.cancelled = make(map[uint64]bool)
 	}
 	eng.cancelled[id] = true
 	eng.cancelOrder = append(eng.cancelOrder, id)

@@ -362,7 +362,7 @@ func (ex *exec) flushResultsLocked(force bool) {
 			// One observation per flush episode: oldest buffered tuple
 			// to first frame on the wire.
 			lat := ex.eng.env.Now().Sub(ex.resFirstBuf)
-			ex.eng.hFlushLat.Observe(lat.Seconds())
+			ex.eng.flushLatHist().Observe(lat.Seconds())
 			if ex.spans != nil {
 				ex.span(trace.StageResultFlush, ex.resFirstBuf, lat, fmt.Sprintf("%d tuples w%d", k, w))
 			}

@@ -79,21 +79,46 @@ func Bootstrap(routers []*Router, seed int64) *SpaceMap {
 			zones[l.owner] = append(zones[l.owner], l.zone)
 		}
 	}
+	// Find adjacent leaf pairs by searching the split tree instead of
+	// testing all O(n²) leaf pairs (5×10⁹ Adjacent calls at n=100k).
+	// An internal node's zone is a superset of every leaf below it, so
+	// a subtree can contain a neighbor of q only if its box overlaps or
+	// abuts q's span in every dimension — the same per-dimension test
+	// Adjacent applies, relaxed to the ancestor box. Each query visits
+	// the O(depth) path plus the leaves touching q's faces, making the
+	// whole pass O(n·(log n + neighbors)).
 	type nbr struct{ a, b int }
 	adj := make(map[nbr]bool)
-	for i := 0; i < len(finals); i++ {
-		for j := i + 1; j < len(finals); j++ {
-			a, b := finals[i], finals[j]
-			if a.owner == b.owner {
+	couldTouch := func(box, q Zone) bool {
+		for i := range q.Lo {
+			if !overlap1(box.Lo[i], box.Hi[i], q.Lo[i], q.Hi[i]) &&
+				!abut1(box.Lo[i], box.Hi[i], q.Lo[i], q.Hi[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	stack := make([]*treeNode, 0, 64)
+	for _, q := range finals {
+		stack = append(stack[:0], sm.root)
+		for len(stack) > 0 {
+			nd := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !couldTouch(nd.zone, q.zone) {
 				continue
 			}
-			if Adjacent(a.zone, b.zone) {
-				x, y := a.owner, b.owner
-				if x > y {
-					x, y = y, x
-				}
-				adj[nbr{x, y}] = true
+			if nd.lo != nil {
+				stack = append(stack, nd.lo, nd.hi)
+				continue
 			}
+			if nd.owner == q.owner || !Adjacent(nd.zone, q.zone) {
+				continue
+			}
+			x, y := nd.owner, q.owner
+			if x > y {
+				x, y = y, x
+			}
+			adj[nbr{x, y}] = true
 		}
 	}
 	now := routers[0].env.Now()

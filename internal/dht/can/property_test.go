@@ -132,3 +132,34 @@ func TestBootstrapInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBootstrapNeighborsMatchBruteForce pins the split-tree adjacency
+// search against the definitional check: after Bootstrap, node j is in
+// node i's neighbor table exactly when some zone of i is Adjacent to
+// some zone of j.
+func TestBootstrapNeighborsMatchBruteForce(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, n := range []int{2, 17, 64, 300} {
+			nw := simnet.New(topology.NewFullMeshInfinite(), seed)
+			routers := make([]*Router, n)
+			for i := range routers {
+				e := nw.AddNode()
+				r := New(e, DefaultConfig())
+				e.SetHandler(env.HandlerFunc(func(from env.Addr, m env.Message) { r.HandleMessage(from, m) }))
+				routers[i] = r
+			}
+			Bootstrap(routers, seed)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					want := AnyAdjacent(routers[i].zones, routers[j].zones)
+					_, gotIJ := routers[i].neighbors[routers[j].env.Addr()]
+					_, gotJI := routers[j].neighbors[routers[i].env.Addr()]
+					if gotIJ != want || gotJI != want {
+						t.Fatalf("seed=%d n=%d pair (%d,%d): adjacency %v but tables say %v/%v",
+							seed, n, i, j, want, gotIJ, gotJI)
+					}
+				}
+			}
+		}
+	}
+}

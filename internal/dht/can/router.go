@@ -144,7 +144,6 @@ func New(e env.Env, cfg Config) *Router {
 		env:       e,
 		cfg:       cfg,
 		neighbors: make(map[env.Addr]*neighborInfo),
-		pending:   make(map[uint64]*pendingLookup),
 	}
 }
 
@@ -291,6 +290,9 @@ func (r *Router) Lookup(k dht.Key, cb func(env.Addr)) {
 			cb(env.NilAddr)
 		}
 	})
+	if r.pending == nil {
+		r.pending = make(map[uint64]*pendingLookup)
+	}
 	r.pending[n] = pl
 	r.forward(p, &lookupMsg{Point: p, Origin: r.env.Addr(), Nonce: n}, env.NilAddr)
 }

@@ -114,7 +114,6 @@ func New(e env.Env, cfg Config) *Router {
 		cfg:     cfg,
 		id:      IDOf(e.Addr()),
 		fingers: make([]entry, 64),
-		pending: make(map[uint64]*pendingLookup),
 	}
 }
 
@@ -216,6 +215,9 @@ func (r *Router) Join(landmark env.Addr) {
 	}
 	r.nonce++
 	n := r.nonce
+	if r.pending == nil {
+		r.pending = make(map[uint64]*pendingLookup)
+	}
 	r.pending[n] = &pendingLookup{
 		cb: func(owner env.Addr) {
 			if owner == env.NilAddr {
@@ -273,6 +275,9 @@ func (r *Router) Lookup(k dht.Key, cb func(env.Addr)) {
 	}
 	r.nonce++
 	n := r.nonce
+	if r.pending == nil {
+		r.pending = make(map[uint64]*pendingLookup)
+	}
 	r.pending[n] = &pendingLookup{
 		cb:    cb,
 		timer: r.env.After(r.cfg.LookupTimeout, func() { r.expire(n) }),

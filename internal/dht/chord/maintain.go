@@ -40,6 +40,9 @@ func (r *Router) stabilize() {
 	}
 	r.nonce++
 	n := r.nonce
+	if r.pending == nil {
+		r.pending = make(map[uint64]*pendingLookup)
+	}
 	r.pending[n] = &pendingLookup{
 		cb:    func(env.Addr) {},
 		timer: r.env.After(r.cfg.StabilizeInterval, func() { r.succTimeout(n) }),

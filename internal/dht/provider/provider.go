@@ -134,16 +134,15 @@ func New(e env.Env, rt dht.Router, cfg Config) *Provider {
 			st = storage.New(e.Now)
 		}
 	}
+	// The subscription and bookkeeping maps are allocated lazily at
+	// first insert; they are usually empty on an idle node and nil maps
+	// read as empty.
 	p := &Provider{
-		env:            e,
-		rt:             rt,
-		store:          st,
-		flood:          multicast.New(e, rt),
-		cfg:            cfg,
-		pendingGets:    make(map[uint64]*pendingGet),
-		newData:        make(map[string]map[int]func(*storage.Item)),
-		onMcast:        make(map[int]func(env.Addr, string, env.Message)),
-		throttledUntil: make(map[string]time.Time),
+		env:   e,
+		rt:    rt,
+		store: st,
+		flood: multicast.New(e, rt),
+		cfg:   cfg,
 	}
 	p.pressure, _ = st.(storage.PressureReporter)
 	p.flood.SetRobust(cfg.RobustMulticast)
@@ -291,9 +290,18 @@ func (p *Provider) Get(ns, rid string, cb func(items []*storage.Item)) {
 				cb(nil)
 			}
 		})
-		p.pendingGets[n] = pg
+		p.putPendingGet(n, pg)
 		p.env.Send(owner, &getMsg{NS: ns, RID: rid, Nonce: n, Origin: p.env.Addr()})
 	})
+}
+
+// putPendingGet registers an outstanding get, allocating the map on
+// first use.
+func (p *Provider) putPendingGet(n uint64, pg *pendingGet) {
+	if p.pendingGets == nil {
+		p.pendingGets = make(map[uint64]*pendingGet)
+	}
+	p.pendingGets[n] = pg
 }
 
 // Multicast delivers payload to every node in the overlay, tagged with a
@@ -308,6 +316,9 @@ func (p *Provider) Multicast(ns string, payload env.Message) {
 func (p *Provider) OnMulticast(fn func(origin env.Addr, ns string, payload env.Message)) (unsubscribe func()) {
 	id := p.nextSubID
 	p.nextSubID++
+	if p.onMcast == nil {
+		p.onMcast = make(map[int]func(env.Addr, string, env.Message))
+	}
 	p.onMcast[id] = fn
 	return func() { delete(p.onMcast, id) }
 }
@@ -338,6 +349,9 @@ func (p *Provider) OnNewData(ns string, fn func(*storage.Item)) (unsubscribe fun
 	p.nextSubID++
 	subs, ok := p.newData[ns]
 	if !ok {
+		if p.newData == nil {
+			p.newData = make(map[string]map[int]func(*storage.Item))
+		}
 		subs = make(map[int]func(*storage.Item))
 		p.newData[ns] = subs
 	}
@@ -447,6 +461,9 @@ func (p *Provider) onThrottle(m *putThrottleMsg) {
 	}
 	until := p.env.Now().Add(ra)
 	if cur, ok := p.throttledUntil[m.Item.Namespace]; !ok || until.After(cur) {
+		if p.throttledUntil == nil {
+			p.throttledUntil = make(map[string]time.Time)
+		}
 		p.throttledUntil[m.Item.Namespace] = until
 	}
 	p.putsDelayed++

@@ -326,10 +326,10 @@ func TestGetAfterRemapChasesOwner(t *testing.T) {
 		p := tn.provs[3]
 		p.nonce++
 		n := p.nonce
-		p.pendingGets[n] = &pendingGet{
+		p.putPendingGet(n, &pendingGet{
 			cb:    func(items []*storage.Item) { got, done = items, true },
 			timer: tn.envs[3].After(time.Minute, func() {}),
-		}
+		})
 		tn.envs[3].Send(tn.envs[wrong].Addr(), &getMsg{NS: "rel", RID: "k", Nonce: n, Origin: tn.envs[3].Addr()})
 	})
 	tn.nw.RunFor(2 * time.Minute)

@@ -53,18 +53,19 @@ type Manager struct {
 }
 
 // New creates a storage manager that reads the clock through now.
+// The namespace maps are allocated lazily at the first Store: most
+// simulated nodes never hold an item, and a nil map reads as empty.
 func New(now func() time.Time) *Manager {
-	return &Manager{
-		now:     now,
-		spaces:  make(map[string]map[string]map[int64]*Item),
-		nsBytes: make(map[string]int64),
-	}
+	return &Manager{now: now}
 }
 
 // Store inserts the item, replacing any existing item with the same
 // (namespace, resourceID, instanceID) — which is exactly what a renew
 // does (§3.2.3).
 func (m *Manager) Store(it *Item) {
+	if m.spaces == nil {
+		m.spaces = make(map[string]map[string]map[int64]*Item)
+	}
 	ns, ok := m.spaces[it.Namespace]
 	if !ok {
 		// Namespaces are created implicitly when the first item is put.
@@ -228,6 +229,9 @@ func (m *Manager) charge(namespace string, delta int64) {
 	if b == 0 {
 		delete(m.nsBytes, namespace)
 	} else {
+		if m.nsBytes == nil {
+			m.nsBytes = make(map[string]int64)
+		}
 		m.nsBytes[namespace] = b
 	}
 }

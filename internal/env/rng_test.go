@@ -1,0 +1,76 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The compile-time contract: SplitMix64 is a math/rand.Source64, so
+// rand.New uses the 64-bit path and Env.Rand() keeps its signature.
+var _ rand.Source64 = (*SplitMix64)(nil)
+
+// TestSplitMix64FixedVectors pins the output stream against the
+// published reference vectors of Vigna's splitmix64.c for seed 0. Any
+// deviation means per-node randomness — and therefore every seeded
+// simulation trace — silently changed.
+func TestSplitMix64FixedVectors(t *testing.T) {
+	want := []uint64{
+		0xE220A8397B1DCDAF,
+		0x6E789E6AA1B965F4,
+		0x06C45D188009454F,
+		0xF88BB8A8724C81EC,
+		0x1B39896A51A8749B,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("draw %d = %#016x, want %#016x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64SourceConformance(t *testing.T) {
+	// Int63 must be the top 63 bits of Uint64 and never negative.
+	a, b := NewSplitMix64(12345), NewSplitMix64(12345)
+	for i := 0; i < 1000; i++ {
+		u := a.Uint64()
+		v := b.Int63()
+		if v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+		if uint64(v) != u>>1 {
+			t.Fatalf("Int63 %#x is not Uint64 %#x >> 1", v, u)
+		}
+	}
+
+	// Seed must restart the stream exactly.
+	a.Seed(777)
+	first := a.Uint64()
+	a.Seed(777)
+	if again := a.Uint64(); again != first {
+		t.Fatalf("Seed did not reset the stream: %#x vs %#x", again, first)
+	}
+
+	// Distinct seeds must diverge immediately (the finalizer is a
+	// bijection over the Weyl state, so equal first draws would mean
+	// equal states).
+	if NewSplitMix64(1).Uint64() == NewSplitMix64(2).Uint64() {
+		t.Fatal("seeds 1 and 2 collide on the first draw")
+	}
+}
+
+// TestSplitMix64BehindRand drives the generator the way the simulator
+// does — wrapped in *rand.Rand — and checks two identically seeded
+// instances agree across the derived-draw helpers.
+func TestSplitMix64BehindRand(t *testing.T) {
+	r1 := rand.New(NewSplitMix64(9))
+	r2 := rand.New(NewSplitMix64(9))
+	for i := 0; i < 200; i++ {
+		if a, b := r1.Intn(1000), r2.Intn(1000); a != b {
+			t.Fatalf("Intn diverged at draw %d: %d vs %d", i, a, b)
+		}
+		if a, b := r1.Float64(), r2.Float64(); a != b {
+			t.Fatalf("Float64 diverged at draw %d: %v vs %v", i, a, b)
+		}
+	}
+}

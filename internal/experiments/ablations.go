@@ -158,8 +158,7 @@ func hierAggRun(nodes, rows, fanout int, seed int64) (maxIn, total float64, dur 
 	}
 	defer sn.Nodes[0].Cancel(id)
 	sn.RunFor(time.Minute)
-	stats := sn.Net.Stats()
-	return float64(stats.MaxInbound()), float64(stats.Bytes), done.Sub(start)
+	return float64(sn.Net.MaxInbound()), float64(sn.Net.Totals().Bytes), done.Sub(start)
 }
 
 // StrategyTraffic compares the four strategies' traffic and latency at

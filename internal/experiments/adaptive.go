@@ -100,6 +100,15 @@ type BenchRecord struct {
 	// host load as much as code, so it is recorded for the per-PR
 	// trajectory but never gated.
 	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+	// SimEventsPerSec is the simscale scenario's simulator event
+	// throughput. Wall-clock: recorded for the per-PR trajectory, never
+	// gated.
+	SimEventsPerSec float64 `json:"sim_events_per_sec,omitempty"`
+	// BytesPerSimNode is the simscale scenario's measured heap cost per
+	// simulated node (GC-settled ReadMemStats delta over the node
+	// count). Allocation volume for a pinned build is deterministic
+	// enough to gate against the committed baseline.
+	BytesPerSimNode int64 `json:"bytes_per_simulated_node,omitempty"`
 }
 
 // WriteBenchJSON writes records as an indented JSON array (empty array,
@@ -317,7 +326,7 @@ func RunAdaptiveCase(cfg AdaptiveConfig, w AdaptiveWorkload, fixed core.Strategy
 	if len(arrivals) > 0 {
 		res.TimeToLast = arrivals[len(arrivals)-1]
 	}
-	stats := sn.Net.Stats()
+	stats := sn.Net.Totals()
 	res.TrafficMB = float64(stats.Bytes) / 1e6
 	res.StrategyMB = float64(stats.Bytes-int64(resultBytes)) / 1e6
 	return res

@@ -65,6 +65,7 @@ func CompareBaseline(baseline, current []BenchRecord, tol float64) (regressions 
 		check("result_frames", b.ResultFrames, cur.ResultFrames)
 		check("result_tuples", b.ResultTuples, cur.ResultTuples)
 		check("nodes_contacted", int64(b.NodesContacted), int64(cur.NodesContacted))
+		check("bytes_per_simulated_node", b.BytesPerSimNode, cur.BytesPerSimNode)
 		if b.AllocsPerOp > 0 && cur.AllocsPerOp > b.AllocsPerOp*(1+tol) {
 			regressions = append(regressions, fmt.Sprintf("%s: allocs_per_op %.1f -> %.1f (+%.0f%%, budget %.0f%%)",
 				benchKey(cur), b.AllocsPerOp, cur.AllocsPerOp, 100*(cur.AllocsPerOp/b.AllocsPerOp-1), 100*tol))

@@ -50,6 +50,26 @@ func DefaultChurnMatrix(full bool) ChurnMatrixConfig {
 	return cfg
 }
 
+// XLChurnMatrix is one churn-matrix point at n=100,000: a single
+// refresh period and churn rate, exercising the full chaos harness
+// (crash + rejoin + loss, oracle and faulted runs) at three orders of
+// magnitude beyond the paper's churn experiment population. The churn
+// rate scales with the population — 60 departures/min is 0.06%/min of
+// a 100k network.
+func XLChurnMatrix(seed int64) ChurnMatrixConfig {
+	return ChurnMatrixConfig{
+		Nodes:          100_000,
+		STuples:        300,
+		Queries:        2,
+		QueryEvery:     30 * time.Second,
+		RefreshPeriods: []time.Duration{45 * time.Second},
+		ChurnRates:     []float64{60},
+		GracefulFrac:   0.3,
+		BaseLoss:       0.01,
+		Seed:           seed,
+	}
+}
+
 // ChurnMatrix runs the recall-under-churn matrix through the chaos
 // harness and reports average recall percentages, plus whether every
 // scenario kept its invariants.

@@ -137,10 +137,10 @@ func RunJoin(cfg JoinConfig) JoinResult {
 	if len(arrivals) > 0 {
 		res.TimeToLast = arrivals[len(arrivals)-1]
 	}
-	stats := sn.Net.Stats()
+	stats := sn.Net.Totals()
 	res.TrafficMB = float64(stats.Bytes) / 1e6
 	res.StrategyMB = float64(stats.Bytes-int64(resultBytes)) / 1e6
-	res.MaxInMB = float64(stats.MaxInbound()) / 1e6
+	res.MaxInMB = float64(sn.Net.MaxInbound()) / 1e6
 	res.AvgHops = avgCANHops(sn)
 	return res
 }

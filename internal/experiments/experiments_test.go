@@ -29,8 +29,10 @@ func TestFewerComputationNodesConcentrateTraffic(t *testing.T) {
 	// §5.4: with few computation nodes the bottleneck moves to their
 	// inbound links. Verify concentration: max inbound with 1
 	// computation node far exceeds the N-node case.
-	one := RunJoin(JoinConfig{Nodes: 64, Seed: 5, Strategy: core.SymmetricHash, STuples: 128, ComputeNodes: 1})
-	all := RunJoin(JoinConfig{Nodes: 64, Seed: 5, Strategy: core.SymmetricHash, STuples: 128})
+	// 256 S-tuples: enough data that inbound-link congestion at the
+	// single computation node dominates placement noise for any seed.
+	one := RunJoin(JoinConfig{Nodes: 64, Seed: 5, Strategy: core.SymmetricHash, STuples: 256, ComputeNodes: 1})
+	all := RunJoin(JoinConfig{Nodes: 64, Seed: 5, Strategy: core.SymmetricHash, STuples: 256})
 	if one.Received != one.Expected || all.Received != all.Expected {
 		t.Fatalf("recall loss: one=%d/%d all=%d/%d", one.Received, one.Expected, all.Received, all.Expected)
 	}

@@ -208,6 +208,6 @@ func runIncast(cfg IncastConfig, batched bool) IncastRun {
 		run.Grants += qs.CreditGrants
 		run.Stalls += qs.CreditStalls
 	}
-	run.InitiatorInMB = float64(sn.Net.Stats().InboundByNode[0]) / 1e6
+	run.InitiatorInMB = float64(sn.Net.InboundOf(0)) / 1e6
 	return run
 }

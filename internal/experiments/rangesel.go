@@ -178,7 +178,7 @@ func runRangeQuery(sn *pier.SimNetwork, cfg RangeSelConfig, cut int64, sel float
 		Index:       useIndex,
 		Received:    received,
 		Expected:    expected,
-		TrafficMB:   float64(sn.Net.Stats().Bytes) / 1e6,
+		TrafficMB:   float64(sn.Net.Totals().Bytes) / 1e6,
 		TimeToLast:  last,
 	}
 	if useIndex {

@@ -19,6 +19,10 @@ type ScalabilityConfig struct {
 	// SPerNode scales the load with the network: |S| = SPerNode × n,
 	// |R| = 10 × |S| (the paper loads ~0.5 MB of source data per node).
 	SPerNode int
+	// PadBytes overrides the R.pad size (0 keeps the paper's ~1KB
+	// tuples). The n≥100k point shrinks it so the 11×SPerNode×n loaded
+	// tuples fit in memory.
+	PadBytes int
 	// TransitStub switches to the Figure-7 topology.
 	TransitStub bool
 	Seed        int64
@@ -37,6 +41,23 @@ func DefaultScalability(full bool) ScalabilityConfig {
 		cfg.SPerNode = 4
 	}
 	return cfg
+}
+
+// XLScalability is the Figure-3 shape an order of magnitude past paper
+// scale: a single n=100,000 point with the 16-computation-node and
+// N-computation-node series. One S tuple per node keeps the load at
+// |R|+|S| = 1.1M tuples, and the 64-byte pad keeps them memory-feasible
+// — the interesting quantity at this size is the shape (does time to
+// the 30th tuple stay flat as multicast and rehash fan out over 100k
+// nodes), not the absolute byte volume.
+func XLScalability() ScalabilityConfig {
+	return ScalabilityConfig{
+		Sizes:         []int{100_000},
+		ComputeSeries: []int{16, 0},
+		SPerNode:      1,
+		PadBytes:      64,
+		Seed:          1,
+	}
 }
 
 // Scalability runs the sweep and returns the figure's series as a table:
@@ -77,6 +98,7 @@ func Scalability(cfg ScalabilityConfig) *Table {
 				Seed:         cfg.Seed + int64(n)*13 + int64(k),
 				Strategy:     core.SymmetricHash,
 				STuples:      cfg.SPerNode * n,
+				PadBytes:     cfg.PadBytes,
 				ComputeNodes: k,
 				Limit:        4 * time.Hour,
 			})

@@ -1,0 +1,167 @@
+package experiments
+
+// SimScale measures the simulation core's scale budget: how many bytes
+// of heap one simulated node costs — split into the simnet+env
+// substrate and the full PIER overlay stack — and how many events per
+// second the discrete-event core sustains while routing. This is the
+// harness behind the memory-per-node budget published in EXPERIMENTS.md
+// and the CI simscale-smoke gate: the bytes_per_simulated_node records
+// are gated by CompareBaseline, the events/sec records are trajectory
+// only (wall-clock).
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pier"
+	"pier/internal/core"
+	"pier/internal/env"
+	"pier/internal/simnet"
+	"pier/internal/topology"
+)
+
+// SimScaleConfig sizes the two measurement buckets.
+type SimScaleConfig struct {
+	// Nodes is the raw simulator population: bare simnet.Network +
+	// NodeEnv with a forwarding handler, no PIER stack. This bucket is
+	// the ≤10KB/node budget of the scaling work.
+	Nodes int
+	// OverlayNodes is the population for the full-stack bucket: a
+	// bootstrapped CAN deployment with provider, engine, statistics,
+	// and index agents per node, measured incrementally over the
+	// substrate and exercised with one network-wide multicast scan.
+	OverlayNodes int
+	// Walkers and Hops shape the raw route pass: Walkers concurrent
+	// random walks of Hops message hops each.
+	Walkers, Hops int
+	Seed          int64
+}
+
+// DefaultSimScale returns the n=100k build-and-route configuration used
+// by CI; -full raises the raw population to 250k.
+func DefaultSimScale(full bool) SimScaleConfig {
+	cfg := SimScaleConfig{
+		Nodes:        100_000,
+		OverlayNodes: 100_000,
+		Walkers:      20_000,
+		Hops:         20,
+		Seed:         1,
+	}
+	if full {
+		cfg.Nodes = 250_000
+	}
+	return cfg
+}
+
+// walkMsg is the raw route pass's payload: a hop budget.
+type walkMsg struct{ hops int32 }
+
+func (walkMsg) WireSize() int { return 64 }
+
+// heapInUse settles the collector and returns live heap bytes.
+func heapInUse() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// SimScale runs both buckets and returns the human table plus the
+// machine-readable records.
+func SimScale(cfg SimScaleConfig) (*Table, []BenchRecord) {
+	tbl := &Table{
+		Title: fmt.Sprintf("Simulation core at scale (raw n=%d, overlay n=%d)",
+			cfg.Nodes, cfg.OverlayNodes),
+		Headers: []string{"bucket", "nodes", "heap MB", "bytes/node", "events", "events/sec", "wall"},
+	}
+	var records []BenchRecord
+
+	// Bucket 1: the simulator substrate. Build n nodes with a
+	// forwarding handler, measure the settled heap delta, then drive
+	// Walkers random walks of Hops hops and measure event throughput.
+	base := heapInUse()
+	nw := simnet.New(topology.NewFullMeshInfinite(), cfg.Seed)
+	n := cfg.Nodes
+	for i := 0; i < n; i++ {
+		nd := nw.AddNode()
+		nd.SetHandler(env.HandlerFunc(func(from env.Addr, m env.Message) {
+			msg := m.(walkMsg)
+			if msg.hops > 0 {
+				next := int(nd.Rand().Int63n(int64(n)))
+				nd.Send(nw.Node(next).Addr(), walkMsg{hops: msg.hops - 1})
+			}
+		}))
+	}
+	rawBytes := int64(heapInUse() - base)
+	rawPerNode := rawBytes / int64(n)
+
+	for i := 0; i < cfg.Walkers; i++ {
+		src := nw.Node((i * 104729) % n)
+		hops := int32(cfg.Hops)
+		src.After(time.Duration(i%1000)*time.Millisecond, func() {
+			src.Send(src.Addr(), walkMsg{hops: hops})
+		})
+	}
+	start := time.Now()
+	events := nw.Drain()
+	wall := time.Since(start)
+	rawEPS := float64(events) / wall.Seconds()
+	tbl.Rows = append(tbl.Rows, []string{
+		"simnet+env", fmt.Sprint(n), fmt.Sprintf("%.1f", float64(rawBytes)/1e6),
+		fmt.Sprint(rawPerNode), fmt.Sprint(events), fmt.Sprintf("%.0f", rawEPS),
+		wall.Round(time.Millisecond).String(),
+	})
+	records = append(records, BenchRecord{
+		Scenario:        "simscale",
+		Workload:        "simnet",
+		Nodes:           n,
+		BytesPerSimNode: rawPerNode,
+		SimEventsPerSec: rawEPS,
+	})
+	runtime.KeepAlive(nw)
+	nw = nil
+
+	// Bucket 2: the full PIER stack, measured incrementally — build a
+	// bootstrapped CAN deployment, load a small table, and run one
+	// network-wide multicast scan as the route pass.
+	on := cfg.OverlayNodes
+	base = heapInUse()
+	sn := pier.NewSimNetwork(on, topology.NewFullMesh(), cfg.Seed, pier.DefaultOptions())
+	overlayBytes := int64(heapInUse() - base)
+	overlayPerNode := overlayBytes / int64(on)
+
+	const rows = 200
+	for i := 0; i < rows; i++ {
+		sn.Load("u", fmt.Sprint(i), int64(i), &core.Tuple{Rel: "u", Vals: []core.Value{int64(i)}}, 0)
+	}
+	plan := &core.Plan{Tables: []core.TableRef{{NS: "u"}}, TTL: 2 * time.Minute}
+	got := 0
+	id, err := sn.QueryFrom(0, plan, func(*core.Tuple, int) { got++ })
+	if err != nil {
+		panic(fmt.Sprintf("simscale: scan rejected: %v", err))
+	}
+	start = time.Now()
+	events = sn.Net.RunFor(90 * time.Second)
+	wall = time.Since(start)
+	sn.Nodes[0].Cancel(id)
+	overlayEPS := float64(events) / wall.Seconds()
+	tbl.Rows = append(tbl.Rows, []string{
+		"pier overlay", fmt.Sprint(on), fmt.Sprintf("%.1f", float64(overlayBytes)/1e6),
+		fmt.Sprint(overlayPerNode), fmt.Sprint(events), fmt.Sprintf("%.0f", overlayEPS),
+		wall.Round(time.Millisecond).String(),
+	})
+	tbl.Note = fmt.Sprintf("overlay bytes/node are incremental over the substrate; scan returned %d/%d rows", got, rows)
+	records = append(records, BenchRecord{
+		Scenario:        "simscale",
+		Workload:        "overlay",
+		Nodes:           on,
+		Results:         got,
+		Expected:        rows,
+		BytesPerSimNode: overlayPerNode,
+		SimEventsPerSec: overlayEPS,
+	})
+	runtime.KeepAlive(sn)
+	return tbl, records
+}

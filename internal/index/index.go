@@ -260,18 +260,9 @@ type Manager struct {
 // New builds an index agent over the node's provider and subscribes it
 // to definition announces. Call Start to run the maintenance loop.
 func New(e env.Env, prov *provider.Provider, cfg Config) *Manager {
-	m := &Manager{
-		env:         e,
-		prov:        prov,
-		cfg:         cfg,
-		defs:        make(map[string][]Def),
-		lastFetch:   make(map[string]time.Time),
-		fetching:    make(map[string]bool),
-		defMisses:   make(map[string]int),
-		created:     make(map[string]Def),
-		createdLife: make(map[string]time.Duration),
-		markerSeen:  make(map[string]time.Time),
-	}
+	// All seven bookkeeping maps stay nil until first insert: a node
+	// that neither creates nor hears about an index pays nothing.
+	m := &Manager{env: e, prov: prov, cfg: cfg}
 	prov.OnMulticast(func(origin env.Addr, ns string, payload env.Message) {
 		if ns != AnnounceNS {
 			return
@@ -338,6 +329,10 @@ func (m *Manager) Create(def Def, lifetime time.Duration) error {
 	if lifetime <= 0 {
 		lifetime = time.Hour
 	}
+	if m.created == nil {
+		m.created = make(map[string]Def)
+		m.createdLife = make(map[string]time.Duration)
+	}
 	m.created[def.Name] = def
 	m.createdLife[def.Name] = lifetime
 	d := def
@@ -368,11 +363,14 @@ func (m *Manager) AllDefs() []Def {
 // CREATE INDEX on existing data into a distributed, per-node local
 // scan.
 func (m *Manager) register(def Def, backfill bool) {
-	m.lastFetch[def.Table] = m.env.Now()
+	m.setLastFetch(def.Table)
 	for _, d := range m.defs[def.Table] {
 		if d.Name == def.Name {
 			return
 		}
+	}
+	if m.defs == nil {
+		m.defs = make(map[string][]Def)
 	}
 	m.defs[def.Table] = append(m.defs[def.Table], def)
 	if !backfill {
@@ -435,10 +433,10 @@ func (m *Manager) refreshDefs() {
 		if m.fetching[table] {
 			continue
 		}
-		m.fetching[table] = true
+		m.setFetching(table)
 		m.prov.Get(DefNS, table, func(items []*storage.Item) {
 			delete(m.fetching, table)
-			m.lastFetch[table] = m.env.Now()
+			m.setLastFetch(table)
 			found := map[string]bool{}
 			for _, it := range items {
 				if d, ok := it.Payload.(*Def); ok {
@@ -452,7 +450,7 @@ func (m *Manager) refreshDefs() {
 					kept = append(kept, d)
 					continue
 				}
-				if m.defMisses[d.Name]++; m.defMisses[d.Name] < defMissLimit {
+				if m.bumpDefMiss(d.Name); m.defMisses[d.Name] < defMissLimit {
 					kept = append(kept, d)
 					continue
 				}
@@ -476,10 +474,10 @@ func (m *Manager) fetchDefs(table string) {
 	if at, ok := m.lastFetch[table]; ok && m.env.Now().Sub(at) < m.cfg.cacheTTL() {
 		return
 	}
-	m.fetching[table] = true
+	m.setFetching(table)
 	m.prov.Get(DefNS, table, func(items []*storage.Item) {
 		delete(m.fetching, table)
-		m.lastFetch[table] = m.env.Now()
+		m.setLastFetch(table)
 		for _, it := range items {
 			if d, ok := it.Payload.(*Def); ok && d.Validate() == nil {
 				m.register(*d, true)
@@ -527,7 +525,35 @@ func (m *Manager) markerFresh(rid string) bool {
 	return ok && m.env.Now().Sub(at) < m.cfg.cacheTTL()
 }
 
-func (m *Manager) sawMarker(rid string) { m.markerSeen[rid] = m.env.Now() }
+func (m *Manager) sawMarker(rid string) {
+	if m.markerSeen == nil {
+		m.markerSeen = make(map[string]time.Time)
+	}
+	m.markerSeen[rid] = m.env.Now()
+}
+
+// setFetching, setLastFetch, and bumpDefMiss are the lazy-allocating
+// insert paths of the corresponding bookkeeping maps.
+func (m *Manager) setFetching(table string) {
+	if m.fetching == nil {
+		m.fetching = make(map[string]bool)
+	}
+	m.fetching[table] = true
+}
+
+func (m *Manager) setLastFetch(table string) {
+	if m.lastFetch == nil {
+		m.lastFetch = make(map[string]time.Time)
+	}
+	m.lastFetch[table] = m.env.Now()
+}
+
+func (m *Manager) bumpDefMiss(name string) {
+	if m.defMisses == nil {
+		m.defMisses = make(map[string]int)
+	}
+	m.defMisses[name]++
+}
 
 // --- naming helpers -----------------------------------------------------
 

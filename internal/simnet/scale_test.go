@@ -1,0 +1,197 @@
+package simnet
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pier/internal/env"
+	"pier/internal/topology"
+)
+
+// churnFingerprint builds an n-node network, drives random multi-hop
+// traffic through it while killing nodes and churning timers, and
+// returns a fingerprint folding every delivery (receiver, payload,
+// virtual timestamp, order) plus the final counters. Two runs from the
+// same seed must produce identical fingerprints: this is the replay-
+// determinism gate for the value-typed event store, exercised through
+// lazy cancellation and compaction rather than around them.
+func churnFingerprint(t *testing.T, seed int64, n int) uint64 {
+	t.Helper()
+	nw := New(topology.NewFullMeshInfinite(), seed)
+	h := fnv.New64a()
+	mix := func(vs ...int64) {
+		for _, v := range vs {
+			var b [8]byte
+			for i := range b {
+				b[i] = byte(v >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+	}
+	for i := 0; i < n; i++ {
+		nd := nw.AddNode()
+		i := i
+		nd.SetHandler(env.HandlerFunc(func(from env.Addr, m env.Message) {
+			msg := m.(testMsg)
+			mix(int64(i), int64(msg.n), nw.Now().Sub(Epoch).Nanoseconds())
+			if msg.n > 0 {
+				next := int(nd.Rand().Int63n(int64(n)))
+				nd.Send(nw.Node(next).Addr(), testMsg{n: msg.n - 1, size: 64})
+			}
+		}))
+	}
+
+	// Traffic: 2000 walkers, 16 hops each, staggered starts.
+	for i := 0; i < 2000; i++ {
+		src := nw.Node((i * 5003) % n)
+		delay := time.Duration(i%997) * time.Millisecond
+		hops := 16
+		src.After(delay, func() {
+			if nw.Alive(src.Index()) {
+				src.Send(src.Addr(), testMsg{n: hops, size: 64})
+			}
+		})
+	}
+
+	// Churn driven from outside the node population, all choices drawn
+	// from the network seed: 300 staggered kills, and 3000 timers on
+	// random nodes of which a third are stopped immediately (tombstone
+	// pressure for the lazy-cancellation path).
+	ctl := rand.New(env.NewSplitMix64(seed ^ 0x1234))
+	controller := nw.Node(0)
+	for k := 0; k < 300; k++ {
+		victim := 1 + ctl.Intn(n-1)
+		controller.After(time.Duration(40+k*37)*time.Millisecond, func() {
+			nw.Kill(victim)
+		})
+	}
+	for k := 0; k < 3000; k++ {
+		nd := nw.Node(ctl.Intn(n))
+		tm := nd.After(time.Duration(ctl.Intn(20000))*time.Millisecond, func() {})
+		if k%3 == 0 {
+			tm.Stop()
+		}
+	}
+
+	nw.RunFor(40 * time.Second)
+	s := nw.Stats()
+	mix(s.Messages, s.Bytes, s.Dropped, s.LostLoss, s.LostPartition, s.DeliveredToDead)
+	mix(s.InboundByNode...)
+	mix(int64(nw.Pending()))
+	return h.Sum64()
+}
+
+func TestReplayFingerprintAtScaleUnderChurn(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	f1 := churnFingerprint(t, 42, n)
+	f2 := churnFingerprint(t, 42, n)
+	if f1 != f2 {
+		t.Fatalf("same seed diverged: %016x vs %016x", f1, f2)
+	}
+	if f3 := churnFingerprint(t, 43, n); f3 == f1 {
+		t.Fatalf("different seed reproduced fingerprint %016x", f1)
+	}
+}
+
+// TestKillHeavyChurnNoEventLeak hammers Kill while traffic is in
+// flight, then drains: every arena slot must come back to the free
+// list, nothing may linger in the heap, and no delivery may reach a
+// dead node.
+func TestKillHeavyChurnNoEventLeak(t *testing.T) {
+	const n = 2000
+	nw := New(topology.NewFullMesh(), 7)
+	for i := 0; i < n; i++ {
+		nd := nw.AddNode()
+		nd.SetHandler(env.HandlerFunc(func(from env.Addr, m env.Message) {
+			msg := m.(testMsg)
+			if msg.n > 0 {
+				next := int(nd.Rand().Int63n(int64(n)))
+				nd.Send(nw.Node(next).Addr(), testMsg{n: msg.n - 1, size: 200})
+			}
+		}))
+	}
+	for i := 0; i < n; i++ {
+		src := nw.Node(i)
+		src.After(time.Duration(i%500)*time.Millisecond, func() {
+			if nw.Alive(src.Index()) {
+				src.Send(src.Addr(), testMsg{n: 12, size: 200})
+			}
+		})
+	}
+	// Kill half the population in waves while the walkers bounce, from
+	// a controller that is never a victim.
+	ctl := rand.New(env.NewSplitMix64(99))
+	controller := nw.Node(0)
+	for k := 0; k < n/2; k++ {
+		victim := 1 + ctl.Intn(n-1)
+		controller.After(time.Duration(10+k*7)*time.Millisecond, func() {
+			nw.Kill(victim)
+		})
+	}
+	nw.Drain()
+
+	if nw.Pending() != 0 {
+		t.Fatalf("Pending = %d after Drain", nw.Pending())
+	}
+	if len(nw.heap) != 0 {
+		t.Fatalf("%d heap entries survived Drain", len(nw.heap))
+	}
+	if nw.live != 0 || nw.tombstones != 0 {
+		t.Fatalf("live=%d tombstones=%d after Drain", nw.live, nw.tombstones)
+	}
+	if got, want := len(nw.free), len(nw.events); got != want {
+		t.Fatalf("event leak: %d of %d arena slots free", got, want)
+	}
+	if s := nw.Totals(); s.DeliveredToDead != 0 {
+		t.Fatalf("DeliveredToDead = %d, want 0", s.DeliveredToDead)
+	}
+}
+
+// TestKillCompactsTombstoneMajority checks the amortized compaction
+// protocol: killing a node that owns the overwhelming majority of the
+// queue must shrink the heap to the live population immediately, not at
+// the next 10k pops.
+func TestKillCompactsTombstoneMajority(t *testing.T) {
+	nw := New(topology.NewFullMeshInfinite(), 1)
+	hog, quiet := nw.AddNode(), nw.AddNode()
+	for i := 0; i < 10000; i++ {
+		hog.After(time.Duration(i)*time.Second, func() {})
+	}
+	fired := 0
+	for i := 0; i < 100; i++ {
+		quiet.After(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	nw.Kill(hog.Index())
+	if nw.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100 live", nw.Pending())
+	}
+	if len(nw.heap) != 100 || nw.tombstones != 0 {
+		t.Fatalf("compaction did not run: heap=%d tombstones=%d", len(nw.heap), nw.tombstones)
+	}
+	nw.Drain()
+	if fired != 100 {
+		t.Fatalf("%d survivor timers fired, want 100", fired)
+	}
+}
+
+// TestTimerHandleSurvivesSlotReuse pins the ABA guard: a handle held
+// across its timer's firing must not cancel an unrelated event that
+// reused the arena slot.
+func TestTimerHandleSurvivesSlotReuse(t *testing.T) {
+	nw := New(topology.NewFullMeshInfinite(), 1)
+	a := nw.AddNode()
+	stale := a.After(time.Millisecond, func() {})
+	nw.RunFor(10 * time.Millisecond) // fires; slot returns to the free list
+	fired := false
+	a.After(time.Millisecond, func() { fired = true }) // reuses the slot
+	stale.Stop()
+	nw.RunFor(10 * time.Millisecond)
+	if !fired {
+		t.Fatal("stale handle canceled an unrelated reused slot")
+	}
+}

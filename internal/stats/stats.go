@@ -256,14 +256,13 @@ type Catalog struct {
 // run the maintenance loop (when cfg.Interval > 0).
 func New(e env.Env, prov *provider.Provider, cfg Config) *Catalog {
 	h := sha1.Sum([]byte("stats:" + string(e.Addr())))
+	// The cache/fetching/match maps are allocated lazily at first
+	// insert: nodes that never plan a query keep them nil.
 	return &Catalog{
-		env:      e,
-		prov:     prov,
-		cfg:      cfg,
-		nodeIID:  int64(binary.BigEndian.Uint64(h[:8]) >> 1),
-		cache:    make(map[string]cacheEntry),
-		fetching: make(map[string]bool),
-		match:    make(map[string]float64),
+		env:     e,
+		prov:    prov,
+		cfg:     cfg,
+		nodeIID: int64(binary.BigEndian.Uint64(h[:8]) >> 1),
 	}
 }
 
@@ -384,6 +383,9 @@ func (c *Catalog) Fetch(table string, cb func(ts opt.TableStats, ok bool)) {
 	if c.fetching[table] && cb == nil {
 		return
 	}
+	if c.fetching == nil {
+		c.fetching = make(map[string]bool)
+	}
 	c.fetching[table] = true
 	c.prov.Get(CatalogNS, table, func(items []*storage.Item) {
 		delete(c.fetching, table)
@@ -408,6 +410,9 @@ func (c *Catalog) Fetch(table string, cb func(ts opt.TableStats, ok bool)) {
 			return
 		}
 		ts := merged.TableStats()
+		if c.cache == nil {
+			c.cache = make(map[string]cacheEntry)
+		}
 		c.cache[table] = cacheEntry{stats: ts, at: c.env.Now()}
 		if cb != nil {
 			cb(ts, true)
@@ -676,6 +681,9 @@ func (c *Catalog) Observe(p *core.Plan, window, count int) {
 		prev = 1
 	}
 	proposed := clamp(ratio, 0.01, 1)
+	if c.match == nil {
+		c.match = make(map[string]float64)
+	}
 	c.match[pairKey(p)] = clamp(0.5*prev+0.5*proposed, 0.01, 1)
 }
 
